@@ -1,0 +1,71 @@
+package vcomputebench_test
+
+import (
+	"testing"
+
+	"vcomputebench/internal/experiments"
+)
+
+// benchExperiment runs one paper experiment per benchmark iteration, so
+// `go test -bench` regenerates every table and figure. Run with
+// -benchtime=1x for a single regeneration pass.
+func benchExperiment(b *testing.B, id string) {
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatalf("experiment %s: %v", id, err)
+	}
+	opts := experiments.Options{Repetitions: 1, Seed: 42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc, err := exp.Run(opts)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if len(doc.Tables) == 0 && len(doc.Series) == 0 {
+			b.Fatalf("experiment %s produced no output", id)
+		}
+	}
+}
+
+// Table I: the benchmark registry.
+func BenchmarkTable1Registry(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table II: desktop experimental setup.
+func BenchmarkTable2DesktopSetup(b *testing.B) { benchExperiment(b, "table2") }
+
+// Table III: mobile experimental setup.
+func BenchmarkTable3MobileSetup(b *testing.B) { benchExperiment(b, "table3") }
+
+// Figure 1a: memory bandwidth vs stride on the GTX 1050 Ti (Vulkan vs CUDA).
+func BenchmarkFig1aBandwidthGTX1050Ti(b *testing.B) { benchExperiment(b, "fig1a") }
+
+// Figure 1b: memory bandwidth vs stride on the RX 560 (Vulkan vs OpenCL).
+func BenchmarkFig1bBandwidthRX560(b *testing.B) { benchExperiment(b, "fig1b") }
+
+// Figure 2a: Rodinia speedups on the GTX 1050 Ti.
+func BenchmarkFig2aDesktopNVIDIA(b *testing.B) { benchExperiment(b, "fig2a") }
+
+// Figure 2b: Rodinia speedups on the RX 560.
+func BenchmarkFig2bDesktopAMD(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// Figure 3a: memory bandwidth vs stride on the Nexus Player.
+func BenchmarkFig3aBandwidthNexus(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// Figure 3b: memory bandwidth vs stride on the Snapdragon 625.
+func BenchmarkFig3bBandwidthSnapdragon(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// Figure 4a: mobile speedups on the Nexus Player (PowerVR G6430).
+func BenchmarkFig4aMobileNexus(b *testing.B) { benchExperiment(b, "fig4a") }
+
+// Figure 4b: mobile speedups on the Snapdragon 625 (Adreno 506).
+func BenchmarkFig4bMobileSnapdragon(b *testing.B) { benchExperiment(b, "fig4b") }
+
+// Headline geometric-mean speedups (abstract / §VII).
+func BenchmarkSummaryGeomeans(b *testing.B) { benchExperiment(b, "summary") }
+
+// Ablation of the single-command-buffer optimisation (§IV-C / §VI-B).
+func BenchmarkAblationCommandBuffer(b *testing.B) { benchExperiment(b, "ablation-cmdbuf") }
+
+// Ablation of the push-constant driver quirk (§V-B1).
+func BenchmarkAblationPushConstants(b *testing.B) { benchExperiment(b, "ablation-push") }

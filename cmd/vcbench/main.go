@@ -1,0 +1,151 @@
+// Command vcbench is the VComputeBench harness: it lists and runs the
+// experiments that reproduce every table and figure of the paper, and can run
+// individual benchmarks on individual simulated platforms.
+//
+// Usage:
+//
+//	vcbench -list                         list experiments, benchmarks and platforms
+//	vcbench -run fig2a                    run one experiment (or "all")
+//	vcbench -run all -format csv -o out/  write every experiment as CSV files
+//	vcbench -bench bfs -platform rx560    run one benchmark across its workloads and APIs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/experiments"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+	_ "vcomputebench/internal/rodinia/suite"
+)
+
+func main() {
+	var (
+		list       = flag.Bool("list", false, "list experiments, benchmarks and platforms")
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		benchName  = flag.String("bench", "", "run a single benchmark by name")
+		platformID = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
+		reps       = flag.Int("reps", 1, "repetitions per measurement")
+		seed       = flag.Int64("seed", 42, "input generation seed")
+		format     = flag.String("format", "text", "output format: text, csv or markdown")
+		outDir     = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listAll()
+	case *run != "":
+		if err := runExperiments(*run, experiments.Options{Repetitions: *reps, Seed: *seed}, *format, *outDir); err != nil {
+			fatal(err)
+		}
+	case *benchName != "":
+		if err := runBenchmark(*benchName, *platformID, *reps, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcbench:", err)
+	os.Exit(1)
+}
+
+func listAll() {
+	fmt.Println("Experiments:")
+	for _, e := range experiments.All() {
+		fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nBenchmarks:")
+	for _, b := range core.All() {
+		fmt.Printf("  %-14s %-22s %-16s %s\n", b.Name(), b.Dwarf(), b.Domain(), b.Description())
+	}
+	fmt.Println("\nPlatforms:")
+	for _, p := range platforms.All() {
+		fmt.Printf("  %-16s %s\n", p.ID, p.Profile.String())
+	}
+}
+
+func runExperiments(id string, opts experiments.Options, format, outDir string) error {
+	var selected []experiments.Experiment
+	if id == "all" {
+		selected = experiments.All()
+	} else {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for _, e := range selected {
+		doc, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		var body string
+		switch format {
+		case "csv":
+			body = doc.CSV()
+		case "markdown":
+			var md string
+			for _, t := range doc.Tables {
+				md += t.Markdown() + "\n"
+			}
+			for _, s := range doc.Series {
+				md += s.Table().Markdown() + "\n"
+			}
+			body = md
+		default:
+			body = doc.Render()
+		}
+		if outDir == "" {
+			fmt.Println(body)
+			continue
+		}
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		ext := map[string]string{"csv": "csv", "markdown": "md"}[format]
+		if ext == "" {
+			ext = "txt"
+		}
+		path := filepath.Join(outDir, e.ID+"."+ext)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+func runBenchmark(name, platformID string, reps int, seed int64) error {
+	b, err := core.Get(name)
+	if err != nil {
+		return err
+	}
+	p, err := platforms.ByID(platformID)
+	if err != nil {
+		return err
+	}
+	runner := &core.Runner{Repetitions: reps, Seed: seed}
+	fmt.Printf("%s on %s\n", b.Name(), p.Profile.Name)
+	fmt.Printf("%-10s %-9s %14s %14s %10s\n", "workload", "api", "kernel", "total", "dispatches")
+	for _, w := range b.Workloads(p.Profile.Class) {
+		for _, api := range hw.AllAPIs() {
+			res, err := runner.Run(p, b, api, w)
+			if err != nil {
+				fmt.Printf("%-10s %-9s skipped: %v\n", w.Label, api, err)
+				continue
+			}
+			fmt.Printf("%-10s %-9s %14v %14v %10d\n", w.Label, api, res.KernelTime, res.TotalTime, res.Dispatches)
+		}
+	}
+	return nil
+}

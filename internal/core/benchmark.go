@@ -1,0 +1,246 @@
+// Package core is the heart of VComputeBench: the benchmark abstraction, the
+// suite registry, the run context handed to benchmark host code, and the
+// runner that executes benchmarks repeatedly and averages their measurements
+// (mirroring §V of the paper: "we execute several times and report the average
+// of the obtained execution times").
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/platforms"
+	"vcomputebench/internal/sim"
+)
+
+// Workload is one input configuration of a benchmark, identified by the label
+// used on the x-axis of the paper's figures.
+type Workload struct {
+	// Label is the input-size label, e.g. "64K" or "512-16".
+	Label string
+	// Params are the benchmark-specific parameters (element counts, matrix
+	// orders, iteration counts, ...).
+	Params map[string]int
+}
+
+// Param returns the named parameter, or def if unset.
+func (w Workload) Param(name string, def int) int {
+	if v, ok := w.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// WithParam returns a copy of the workload with one parameter overridden.
+func (w Workload) WithParam(name string, value int) Workload {
+	params := make(map[string]int, len(w.Params)+1)
+	for k, v := range w.Params {
+		params[k] = v
+	}
+	params[name] = value
+	return Workload{Label: w.Label, Params: params}
+}
+
+// RunContext is everything a benchmark's host code needs for one run.
+type RunContext struct {
+	// Host is the simulated CPU whose clock the benchmark measures with.
+	Host *sim.Host
+	// Device is the simulated GPU.
+	Device *hw.Device
+	// Platform identifies the device profile in use.
+	Platform *platforms.Platform
+	// API selects which front end the host code must use.
+	API hw.API
+	// Workload is the input configuration.
+	Workload Workload
+	// Seed makes input generation deterministic.
+	Seed int64
+	// Validate requests that the benchmark also compute its CPU reference and
+	// verify the device output against it (used by tests; expensive).
+	Validate bool
+}
+
+// Stopwatch starts a stopwatch on the run's host clock.
+func (ctx *RunContext) Stopwatch() *sim.Stopwatch { return sim.StartStopwatch(ctx.Host) }
+
+// Result is the outcome of one benchmark run.
+type Result struct {
+	Benchmark string
+	API       hw.API
+	Platform  string
+	Workload  string
+
+	// KernelTime is the measured time of the compute phase: from just before
+	// the first kernel launch / queue submission to the completion of the last
+	// kernel, excluding data transfers and program build. This is the quantity
+	// the paper compares across APIs (§V-A2).
+	KernelTime time.Duration
+	// TotalTime is the end-to-end host time of the run, including buffer
+	// management, transfers and (for OpenCL) JIT compilation.
+	TotalTime time.Duration
+	// Dispatches is the number of kernel launches / dispatches performed.
+	Dispatches int
+	// Checksum is a digest of the output buffers used for cross-API
+	// validation.
+	Checksum float64
+	// Extra carries benchmark-specific metrics (e.g. achieved bandwidth in
+	// GB/s for the memory microbenchmark).
+	Extra map[string]float64
+}
+
+// ExtraValue returns the named extra metric, or 0 if absent.
+func (r *Result) ExtraValue(name string) float64 {
+	if r.Extra == nil {
+		return 0
+	}
+	return r.Extra[name]
+}
+
+// SetExtra stores an extra metric, allocating the map on first use.
+func (r *Result) SetExtra(name string, v float64) {
+	if r.Extra == nil {
+		r.Extra = make(map[string]float64)
+	}
+	r.Extra[name] = v
+}
+
+// Benchmark is one VComputeBench workload: its Table I metadata, the input
+// configurations used on desktop and mobile platforms, and host
+// implementations for each API.
+type Benchmark interface {
+	// Name is the short benchmark name used in the figures (e.g. "bfs").
+	Name() string
+	// Dwarf is the Berkeley dwarf classification from Table I.
+	Dwarf() string
+	// Domain is the application domain from Table I.
+	Domain() string
+	// Description is a one-line description of the workload.
+	Description() string
+	// Workloads returns the input configurations evaluated on the given device
+	// class, in the order they appear in the paper's figures.
+	Workloads(class hw.Class) []Workload
+	// APIs lists the front ends the benchmark implements.
+	APIs() []hw.API
+	// Run executes the benchmark once under the given context.
+	Run(ctx *RunContext) (*Result, error)
+}
+
+// registry of benchmarks.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Benchmark{}
+)
+
+// Register adds a benchmark to the suite. Benchmark packages call this from
+// init; registering the same name twice panics, as that is a programming
+// error.
+func Register(b Benchmark) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if b == nil || b.Name() == "" {
+		panic("core: Register called with nil or unnamed benchmark")
+	}
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("core: benchmark %q registered twice", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Get returns the benchmark with the given name.
+func Get(name string) (Benchmark, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// All returns every registered benchmark sorted by name.
+func All() []Benchmark {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Benchmark, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Names returns the sorted names of all registered benchmarks.
+func Names() []string {
+	bs := All()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name()
+	}
+	return names
+}
+
+// ChecksumWords computes an order-dependent digest of a word buffer,
+// interpreting each word as its raw bits. It is cheap, deterministic and
+// sensitive to both value and position, which is what cross-API output
+// validation needs.
+func ChecksumWords(w kernels.Words) float64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, x := range w {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	// Fold to float64 via the mantissa to keep Result JSON/CSV friendly.
+	return float64(h % (1 << 52))
+}
+
+// ChecksumF32 computes a tolerant digest of float data: a combination of sum
+// and sum of absolute values rounded to 5 significant decimals, so results
+// that differ only by floating-point association order still match.
+func ChecksumF32(data []float32) float64 {
+	var sum, abs float64
+	for _, v := range data {
+		sum += float64(v)
+		if v < 0 {
+			abs -= float64(v)
+		} else {
+			abs += float64(v)
+		}
+	}
+	return roundSig(sum, 5) + 1e-3*roundSig(abs, 5)
+}
+
+func roundSig(x float64, digits int) float64 {
+	if x == 0 {
+		return 0
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	scale := 1.0
+	for x >= 10 {
+		x /= 10
+		scale *= 10
+	}
+	for x < 1 {
+		x *= 10
+		scale /= 10
+	}
+	pow := 1.0
+	for i := 1; i < digits; i++ {
+		pow *= 10
+	}
+	v := float64(int64(x*pow+0.5)) / pow * scale
+	if neg {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+	"vcomputebench/internal/sim"
+	"vcomputebench/internal/stats"
+)
+
+// ErrExcluded is wrapped by Runner errors when a platform quirk excludes the
+// benchmark/API combination (the paper's driver failures and out-of-memory
+// datasets).
+type ExclusionError struct {
+	Benchmark string
+	API       hw.API
+	Platform  string
+	Reason    string
+}
+
+func (e *ExclusionError) Error() string {
+	return fmt.Sprintf("core: %s/%s excluded on %s: %s", e.Benchmark, e.API, e.Platform, e.Reason)
+}
+
+// Runner executes benchmarks with repetitions and averages the results.
+type Runner struct {
+	// Repetitions is the number of measured runs to average (the paper
+	// executes several times and reports the average; default 3).
+	Repetitions int
+	// Seed seeds input generation.
+	Seed int64
+	// Validate forwards the validation request to the benchmarks.
+	Validate bool
+}
+
+// NewRunner returns a runner with the default repetition count.
+func NewRunner() *Runner { return &Runner{Repetitions: 3, Seed: 42} }
+
+// Run executes the benchmark with the given API and workload on a fresh device
+// instance of the platform, repeating and averaging.
+func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload) (*Result, error) {
+	if p == nil || b == nil {
+		return nil, fmt.Errorf("core: Run with nil platform or benchmark")
+	}
+	if reason, excluded := p.Excluded(b.Name(), api); excluded {
+		return nil, &ExclusionError{Benchmark: b.Name(), API: api, Platform: p.ID, Reason: reason}
+	}
+	if !p.Profile.Supports(api) {
+		return nil, &ExclusionError{
+			Benchmark: b.Name(), API: api, Platform: p.ID,
+			Reason: fmt.Sprintf("platform has no %s driver", api),
+		}
+	}
+	supported := false
+	for _, a := range b.APIs() {
+		if a == api {
+			supported = true
+			break
+		}
+	}
+	if !supported {
+		return nil, &ExclusionError{
+			Benchmark: b.Name(), API: api, Platform: p.ID,
+			Reason: fmt.Sprintf("benchmark has no %s implementation", api),
+		}
+	}
+
+	reps := r.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+
+	var kernelTimes, totalTimes []time.Duration
+	var last *Result
+	for rep := 0; rep < reps; rep++ {
+		dev, err := p.NewDevice()
+		if err != nil {
+			return nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
+		}
+		ctx := &RunContext{
+			Host:     sim.NewHost(),
+			Device:   dev,
+			Platform: p,
+			API:      api,
+			Workload: w,
+			Seed:     r.Seed,
+			Validate: r.Validate && rep == 0,
+		}
+		res, err := b.Run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label, err)
+		}
+		res.Benchmark = b.Name()
+		res.API = api
+		res.Platform = p.ID
+		res.Workload = w.Label
+		if last != nil && last.Checksum != res.Checksum {
+			return nil, fmt.Errorf("core: %s/%s on %s (%s): checksum changed between repetitions (%v vs %v)",
+				b.Name(), api, p.ID, w.Label, last.Checksum, res.Checksum)
+		}
+		kernelTimes = append(kernelTimes, res.KernelTime)
+		totalTimes = append(totalTimes, res.TotalTime)
+		last = res
+	}
+	meanKernel, err := stats.MeanDuration(kernelTimes)
+	if err != nil {
+		return nil, err
+	}
+	meanTotal, err := stats.MeanDuration(totalTimes)
+	if err != nil {
+		return nil, err
+	}
+	last.KernelTime = meanKernel
+	last.TotalTime = meanTotal
+	return last, nil
+}
+
+// SuiteResult collects the results of running several benchmarks across APIs
+// on one platform.
+type SuiteResult struct {
+	Platform string
+	// Results maps benchmark -> workload label -> API -> result.
+	Results map[string]map[string]map[hw.API]*Result
+	// Skipped lists excluded combinations with their reasons.
+	Skipped []ExclusionError
+}
+
+// Add inserts a result into the nested map.
+func (s *SuiteResult) Add(res *Result) {
+	if s.Results == nil {
+		s.Results = make(map[string]map[string]map[hw.API]*Result)
+	}
+	byWorkload, ok := s.Results[res.Benchmark]
+	if !ok {
+		byWorkload = make(map[string]map[hw.API]*Result)
+		s.Results[res.Benchmark] = byWorkload
+	}
+	byAPI, ok := byWorkload[res.Workload]
+	if !ok {
+		byAPI = make(map[hw.API]*Result)
+		byWorkload[res.Workload] = byAPI
+	}
+	byAPI[res.API] = res
+}
+
+// Lookup retrieves a result, if present.
+func (s *SuiteResult) Lookup(benchmark, workload string, api hw.API) (*Result, bool) {
+	byWorkload, ok := s.Results[benchmark]
+	if !ok {
+		return nil, false
+	}
+	byAPI, ok := byWorkload[workload]
+	if !ok {
+		return nil, false
+	}
+	r, ok := byAPI[api]
+	return r, ok
+}
+
+// Speedup returns the speedup of api over the baseline API for one
+// benchmark/workload, using kernel times (the paper's metric).
+func (s *SuiteResult) Speedup(benchmark, workload string, api, baseline hw.API) (float64, bool) {
+	a, okA := s.Lookup(benchmark, workload, api)
+	b, okB := s.Lookup(benchmark, workload, baseline)
+	if !okA || !okB || a.KernelTime <= 0 {
+		return 0, false
+	}
+	return stats.Speedup(b.KernelTime, a.KernelTime), true
+}
+
+// GeoMeanSpeedup returns the geometric-mean speedup of api over baseline
+// across every benchmark/workload pair present for both APIs.
+func (s *SuiteResult) GeoMeanSpeedup(api, baseline hw.API) (float64, error) {
+	var xs []float64
+	for bench, byWorkload := range s.Results {
+		for wl := range byWorkload {
+			if sp, ok := s.Speedup(bench, wl, api, baseline); ok && sp > 0 {
+				xs = append(xs, sp)
+			}
+		}
+	}
+	return stats.GeoMean(xs)
+}
+
+// RunSuite runs the given benchmarks for every workload of the platform's
+// device class and every requested API, collecting results and recording
+// exclusions instead of failing on them.
+func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []hw.API) (*SuiteResult, error) {
+	out := &SuiteResult{Platform: p.ID}
+	for _, b := range benchmarks {
+		for _, w := range b.Workloads(p.Profile.Class) {
+			for _, api := range apis {
+				res, err := r.Run(p, b, api, w)
+				if err != nil {
+					var excl *ExclusionError
+					if errors.As(err, &excl) {
+						out.Skipped = append(out.Skipped, *excl)
+						continue
+					}
+					return nil, err
+				}
+				out.Add(res)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,295 @@
+// Package experiments defines one runnable experiment per table and figure of
+// the paper, plus the headline geometric-mean summary and two ablations of the
+// Vulkan-specific optimisations recommended in §VI-B. The cmd/vcbench harness
+// and the root bench_test.go drive these experiments.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/micro"
+	"vcomputebench/internal/platforms"
+	"vcomputebench/internal/report"
+	"vcomputebench/internal/rodinia/suite"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Repetitions per measurement (the paper averages several runs).
+	Repetitions int
+	// Seed for input generation.
+	Seed int64
+}
+
+// defaults fills in zero fields.
+func (o Options) defaults() Options {
+	if o.Repetitions <= 0 {
+		o.Repetitions = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+func (o Options) runner() *core.Runner {
+	return &core.Runner{Repetitions: o.Repetitions, Seed: o.Seed}
+}
+
+// Experiment is one reproducible artefact of the paper.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(Options) (*report.Document, error)
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "Table I: VComputeBench benchmarks", Description: "Benchmark list with dwarf and domain", Run: runTable1},
+		{ID: "table2", Title: "Table II: Desktop GPUs experimental setup", Description: "Desktop platform configuration", Run: runTable2},
+		{ID: "table3", Title: "Table III: Mobile GPUs experimental setup", Description: "Mobile platform configuration", Run: runTable3},
+		{ID: "fig1a", Title: "Fig. 1a: Bandwidth vs stride on GTX 1050 Ti", Description: "Vulkan vs CUDA strided bandwidth", Run: figBandwidth(platforms.IDGTX1050Ti, []hw.API{hw.APIVulkan, hw.APICUDA})},
+		{ID: "fig1b", Title: "Fig. 1b: Bandwidth vs stride on RX 560", Description: "Vulkan vs OpenCL strided bandwidth", Run: figBandwidth(platforms.IDRX560, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig2a", Title: "Fig. 2a: Rodinia speedups on GTX 1050 Ti", Description: "OpenCL/Vulkan/CUDA speedups vs OpenCL", Run: figSpeedups(platforms.IDGTX1050Ti, []hw.API{hw.APIOpenCL, hw.APIVulkan, hw.APICUDA})},
+		{ID: "fig2b", Title: "Fig. 2b: Rodinia speedups on RX 560", Description: "OpenCL/Vulkan speedups vs OpenCL", Run: figSpeedups(platforms.IDRX560, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "fig3a", Title: "Fig. 3a: Bandwidth vs stride on Nexus Player", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth(platforms.IDNexus, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig3b", Title: "Fig. 3b: Bandwidth vs stride on Snapdragon 625", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth(platforms.IDSnapdragon, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig4a", Title: "Fig. 4a: Mobile speedups on Nexus (PowerVR G6430)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups(platforms.IDNexus, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "fig4b", Title: "Fig. 4b: Mobile speedups on Snapdragon (Adreno 506)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups(platforms.IDSnapdragon, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "summary", Title: "Headline geometric-mean speedups", Description: "Geomean Vulkan speedups per platform (paper: 1.53x vs CUDA, 1.26-1.66x vs OpenCL desktop, 1.59x Nexus, 0.83x Snapdragon)", Run: runSummary},
+		{ID: "ablation-cmdbuf", Title: "Ablation: single command buffer vs per-iteration submits", Description: "Quantifies the Vulkan optimisation of §IV-C / §VI-B", Run: runAblationCmdBuf},
+		{ID: "ablation-push", Title: "Ablation: push constants vs parameter buffer binds", Description: "Quantifies the Snapdragon push-constant driver quirk of §V-B1", Run: runAblationPush},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs returns the experiment identifiers in order.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func runTable1(opts Options) (*report.Document, error) {
+	benchmarks, err := suite.Rodinia()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{Title: "Table I: VComputeBench benchmarks", Columns: []string{"Name", "Application", "Dwarf", "Domain"}}
+	for _, b := range benchmarks {
+		t.AddRow(b.Name(), b.Description(), b.Dwarf(), b.Domain())
+	}
+	return &report.Document{ID: "table1", Title: t.Title, Tables: []*report.Table{t}}, nil
+}
+
+func platformTable(title string, ps []*platforms.Platform, apis []hw.API) *report.Table {
+	cols := []string{"Property"}
+	for _, p := range ps {
+		cols = append(cols, p.Profile.Name)
+	}
+	t := &report.Table{Title: title, Columns: cols}
+	row := func(name string, get func(*platforms.Platform) string) {
+		cells := []string{name}
+		for _, p := range ps {
+			cells = append(cells, get(p))
+		}
+		t.AddRow(cells...)
+	}
+	row("Operating System", func(p *platforms.Platform) string { return p.Profile.OS })
+	row("CPU", func(p *platforms.Platform) string { return p.Profile.CPU })
+	row("GPU", func(p *platforms.Platform) string { return p.Profile.Architecture })
+	row("Memory", func(p *platforms.Platform) string {
+		return fmt.Sprintf("CPU Memory=%d GB, GPU Memory=%d MB", p.Profile.HostMemGB, p.Profile.DeviceMemBytes>>20)
+	})
+	row("Driver", func(p *platforms.Platform) string { return p.Profile.DriverName })
+	for _, api := range apis {
+		api := api
+		row(api.String(), func(p *platforms.Platform) string {
+			drv, ok := p.Profile.Driver(api)
+			if !ok {
+				return "-"
+			}
+			return drv.Version
+		})
+	}
+	return t
+}
+
+func runTable2(opts Options) (*report.Document, error) {
+	t := platformTable("Table II: Desktop GPUs experimental setup", platforms.Desktop(),
+		[]hw.API{hw.APIOpenCL, hw.APICUDA, hw.APIVulkan})
+	return &report.Document{ID: "table2", Title: t.Title, Tables: []*report.Table{t}}, nil
+}
+
+func runTable3(opts Options) (*report.Document, error) {
+	t := platformTable("Table III: Mobile GPUs experimental setup", platforms.Mobile(),
+		[]hw.API{hw.APIOpenCL, hw.APIVulkan})
+	return &report.Document{ID: "table3", Title: t.Title, Tables: []*report.Table{t}}, nil
+}
+
+// figBandwidth builds the bandwidth-vs-stride experiment for one platform.
+func figBandwidth(platformID string, apis []hw.API) func(Options) (*report.Document, error) {
+	return func(opts Options) (*report.Document, error) {
+		opts = opts.defaults()
+		p, err := platforms.ByID(platformID)
+		if err != nil {
+			return nil, err
+		}
+		b, err := core.Get("membandwidth")
+		if err != nil {
+			return nil, err
+		}
+		workloads := b.Workloads(p.Profile.Class)
+		x := make([]string, len(workloads))
+		for i, w := range workloads {
+			x[i] = w.Label
+		}
+		series := report.NewSeries(
+			fmt.Sprintf("Memory bandwidth vs stride on %s", p.Profile.Name),
+			"stride (4-byte elements)", "GB/s", x)
+		runner := opts.runner()
+		for _, api := range apis {
+			for i, w := range workloads {
+				res, err := runner.Run(p, b, api, w)
+				if err != nil {
+					return nil, err
+				}
+				series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
+			}
+		}
+		doc := &report.Document{ID: "bandwidth-" + platformID, Title: series.Title, Series: []*report.Series{series}}
+		doc.Notes = append(doc.Notes,
+			fmt.Sprintf("theoretical peak bandwidth: %.1f GB/s", p.Profile.PeakBandwidthGBps))
+		return doc, nil
+	}
+}
+
+// figSpeedups builds the Rodinia speedup experiment for one platform. The
+// first API in apis is the baseline (OpenCL in the paper).
+func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Document, error) {
+	return func(opts Options) (*report.Document, error) {
+		opts = opts.defaults()
+		p, err := platforms.ByID(platformID)
+		if err != nil {
+			return nil, err
+		}
+		benchmarks, err := suite.Rodinia()
+		if err != nil {
+			return nil, err
+		}
+		ordered := orderBenchmarks(benchmarks)
+		runner := opts.runner()
+		suiteRes, err := runner.RunSuite(p, ordered, apis)
+		if err != nil {
+			return nil, err
+		}
+		baseline := apis[0]
+
+		var x []string
+		type cell struct{ bench, workload string }
+		var cells []cell
+		for _, b := range ordered {
+			for _, w := range b.Workloads(p.Profile.Class) {
+				x = append(x, b.Name()+"/"+w.Label)
+				cells = append(cells, cell{b.Name(), w.Label})
+			}
+		}
+		series := report.NewSeries(
+			fmt.Sprintf("Speedup vs %s on %s (kernel times)", baseline.String(), p.Profile.Name),
+			"benchmark/workload", "speedup", x)
+		for _, api := range apis {
+			for i, c := range cells {
+				if sp, ok := suiteRes.Speedup(c.bench, c.workload, api, baseline); ok {
+					series.Set(api.String(), i, sp)
+				} else {
+					series.Set(api.String(), i, 0)
+				}
+			}
+		}
+
+		doc := &report.Document{ID: "speedups-" + platformID, Title: series.Title, Series: []*report.Series{series}}
+		for _, api := range apis[1:] {
+			if g, err := suiteRes.GeoMeanSpeedup(api, baseline); err == nil {
+				doc.Notes = append(doc.Notes, fmt.Sprintf("geomean speedup %s vs %s: %.2fx", api, baseline, g))
+			}
+		}
+		for _, skip := range suiteRes.Skipped {
+			doc.Notes = append(doc.Notes, fmt.Sprintf("excluded %s/%s: %s", skip.Benchmark, skip.API, skip.Reason))
+		}
+		return doc, nil
+	}
+}
+
+// orderBenchmarks sorts benchmarks into the x-axis order of Figures 2 and 4.
+func orderBenchmarks(bs []core.Benchmark) []core.Benchmark {
+	rank := map[string]int{}
+	for i, n := range suite.FigureOrder() {
+		rank[n] = i
+	}
+	out := append([]core.Benchmark(nil), bs...)
+	sort.SliceStable(out, func(i, j int) bool { return rank[out[i].Name()] < rank[out[j].Name()] })
+	return out
+}
+
+// runSummary reproduces the headline geometric means quoted in the abstract
+// and §VII.
+func runSummary(opts Options) (*report.Document, error) {
+	opts = opts.defaults()
+	runner := opts.runner()
+	benchmarks, err := suite.Rodinia()
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Headline geometric-mean Vulkan speedups",
+		Columns: []string{"Platform", "Baseline", "Measured", "Paper"},
+	}
+	add := func(platformID string, apis []hw.API, baseline hw.API, paper string) error {
+		p, err := platforms.ByID(platformID)
+		if err != nil {
+			return err
+		}
+		suiteRes, err := runner.RunSuite(p, benchmarks, apis)
+		if err != nil {
+			return err
+		}
+		g, err := suiteRes.GeoMeanSpeedup(hw.APIVulkan, baseline)
+		if err != nil {
+			return err
+		}
+		t.AddRow(p.Profile.Name, baseline.String(), fmt.Sprintf("%.2fx", g), paper)
+		return nil
+	}
+	if err := add(platforms.IDGTX1050Ti, []hw.API{hw.APICUDA, hw.APIVulkan}, hw.APICUDA, "1.53x"); err != nil {
+		return nil, err
+	}
+	if err := add(platforms.IDGTX1050Ti, []hw.API{hw.APIOpenCL, hw.APIVulkan}, hw.APIOpenCL, "1.66x (desktop avg vs OpenCL)"); err != nil {
+		return nil, err
+	}
+	if err := add(platforms.IDRX560, []hw.API{hw.APIOpenCL, hw.APIVulkan}, hw.APIOpenCL, "1.26x"); err != nil {
+		return nil, err
+	}
+	if err := add(platforms.IDNexus, []hw.API{hw.APIOpenCL, hw.APIVulkan}, hw.APIOpenCL, "1.59x"); err != nil {
+		return nil, err
+	}
+	if err := add(platforms.IDSnapdragon, []hw.API{hw.APIOpenCL, hw.APIVulkan}, hw.APIOpenCL, "0.83x"); err != nil {
+		return nil, err
+	}
+	return &report.Document{ID: "summary", Title: t.Title, Tables: []*report.Table{t}}, nil
+}

@@ -1,0 +1,171 @@
+package hw
+
+import (
+	"fmt"
+	"time"
+
+	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/sim"
+)
+
+// Device is a simulated GPU: a validated profile, a memory system, and a set
+// of queues (execution engines).
+type Device struct {
+	profile  Profile
+	mem      *MemorySystem
+	timeline sim.Timeline
+	queues   map[QueueKind][]*Queue
+}
+
+// NewDevice constructs a simulated device from a profile. The device exposes
+// two compute queues and one transfer queue, matching the queue-family model
+// described in §III-B.
+func NewDevice(p Profile) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	hostVisible := p.HostVisibleMemBytes
+	if hostVisible <= 0 {
+		hostVisible = p.DeviceMemBytes
+	}
+	d := &Device{
+		profile: p,
+		mem:     NewMemorySystem(p.DeviceMemBytes, hostVisible),
+		queues:  make(map[QueueKind][]*Queue),
+	}
+	d.addQueue(QueueCompute)
+	d.addQueue(QueueCompute)
+	d.addQueue(QueueTransfer)
+	return d, nil
+}
+
+func (d *Device) addQueue(kind QueueKind) *Queue {
+	idx := len(d.queues[kind])
+	q := &Queue{
+		dev:    d,
+		kind:   kind,
+		index:  idx,
+		engine: sim.NewEngine(fmt.Sprintf("%s:%s%d", d.profile.Name, kind, idx), &d.timeline),
+	}
+	d.queues[kind] = append(d.queues[kind], q)
+	return q
+}
+
+// Profile returns the device's hardware profile.
+func (d *Device) Profile() *Profile { return &d.profile }
+
+// Memory returns the device's memory system.
+func (d *Device) Memory() *MemorySystem { return d.mem }
+
+// Timeline returns the device activity trace.
+func (d *Device) Timeline() *sim.Timeline { return &d.timeline }
+
+// QueueCount reports how many queues of the given kind the device exposes.
+func (d *Device) QueueCount(kind QueueKind) int { return len(d.queues[kind]) }
+
+// Queue returns the index-th queue of the given kind.
+func (d *Device) Queue(kind QueueKind, index int) (*Queue, error) {
+	qs := d.queues[kind]
+	if index < 0 || index >= len(qs) {
+		return nil, fmt.Errorf("hw: device %q has no %s queue %d", d.profile.Name, kind, index)
+	}
+	return qs[index], nil
+}
+
+// Driver returns the driver profile for the API or an error if the API is not
+// supported on this device.
+func (d *Device) Driver(api API) (DriverProfile, error) {
+	drv, ok := d.profile.Driver(api)
+	if !ok {
+		return DriverProfile{}, fmt.Errorf("hw: device %q does not support %s", d.profile.Name, api)
+	}
+	return drv, nil
+}
+
+// Reset clears all queue occupancy and the device timeline. The benchmark
+// runner uses it between repetitions so measurements start from an idle
+// device.
+func (d *Device) Reset() {
+	for _, qs := range d.queues {
+		for _, q := range qs {
+			q.engine.Reset()
+		}
+	}
+	d.timeline.Reset()
+}
+
+// KernelRun reports the outcome of executing one dispatch on a queue.
+type KernelRun struct {
+	Program  string
+	Start    time.Duration
+	End      time.Duration
+	Exec     time.Duration
+	Counters kernels.Counters
+}
+
+// Queue is an in-order execution engine of the device.
+type Queue struct {
+	dev    *Device
+	kind   QueueKind
+	index  int
+	engine *sim.Engine
+}
+
+// Kind returns the queue's functionality class.
+func (q *Queue) Kind() QueueKind { return q.kind }
+
+// Index returns the queue index within its family.
+func (q *Queue) Index() int { return q.index }
+
+// Device returns the owning device.
+func (q *Queue) Device() *Device { return q.dev }
+
+// AvailableAt reports when the queue becomes idle.
+func (q *Queue) AvailableAt() time.Duration { return q.engine.AvailableAt() }
+
+// ExecuteKernel functionally executes the program on the device and schedules
+// its simulated duration (plus extraDeviceTime, e.g. pipeline bind or barrier
+// costs charged by the API layer) on this queue, starting no earlier than
+// earliest. It returns the run record.
+func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Program,
+	cfg kernels.DispatchConfig, extraDeviceTime time.Duration) (KernelRun, error) {
+	if q.kind != QueueCompute && q.kind != QueueGraphics {
+		return KernelRun{}, fmt.Errorf("hw: queue %s%d cannot execute compute work", q.kind, q.index)
+	}
+	drv, err := q.dev.Driver(api)
+	if err != nil {
+		return KernelRun{}, err
+	}
+	if cfg.WarpSize == 0 {
+		cfg.WarpSize = q.dev.profile.WarpSize
+	}
+	if cfg.CacheLineBytes == 0 {
+		cfg.CacheLineBytes = q.dev.profile.CacheLineBytes
+	}
+	counters, err := kernels.Execute(prog, cfg)
+	if err != nil {
+		return KernelRun{}, err
+	}
+	exec := KernelDuration(&q.dev.profile, &drv, prog, counters) + extraDeviceTime
+	start, end := q.engine.Schedule(prog.Name, earliest, exec)
+	return KernelRun{
+		Program:  prog.Name,
+		Start:    start,
+		End:      end,
+		Exec:     exec,
+		Counters: *counters,
+	}, nil
+}
+
+// ExecuteTransfer schedules a host<->device copy of n bytes on this queue and
+// returns its start and end times.
+func (q *Queue) ExecuteTransfer(earliest time.Duration, n int64) (start, end time.Duration) {
+	d := TransferDuration(&q.dev.profile, n)
+	return q.engine.Schedule("transfer", earliest, d)
+}
+
+// Occupy schedules opaque device-side work (e.g. a barrier's drain time) on
+// the queue and returns its start and end times.
+func (q *Queue) Occupy(name string, earliest, d time.Duration) (start, end time.Duration) {
+	return q.engine.Schedule(name, earliest, d)
+}

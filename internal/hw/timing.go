@@ -1,0 +1,116 @@
+package hw
+
+import (
+	"time"
+
+	"vcomputebench/internal/kernels"
+)
+
+// localMemBandwidthFactor scales global peak bandwidth to obtain the
+// workgroup-local (shared/LDS) memory bandwidth.
+const localMemBandwidthFactor = 4.0
+
+// KernelDuration converts the execution counters of one dispatch into
+// simulated device time for the given device and driver.
+//
+// The model is a classic roofline with launch costs:
+//
+//	t = dispatchLatency + workgroupScheduling + max(computeTime, memoryTime, localTime)
+//
+// where memory time accounts for the coalescing efficiency observed on sampled
+// warps, the driver's achievable-bandwidth efficiencies, and the
+// local-memory-promotion optimisation applied by mature compilers to marked
+// kernels (the paper's bfs ISA finding).
+func KernelDuration(p *Profile, drv *DriverProfile, prog *kernels.Program, c *kernels.Counters) time.Duration {
+	if c == nil {
+		return 0
+	}
+	// Compute side.
+	throughput := float64(p.ComputeUnits) * float64(p.ALUsPerCU) * float64(p.CoreClockMHz) * 1e6
+	if drv.CompilerEfficiency > 0 {
+		throughput *= drv.CompilerEfficiency
+	}
+	computeSec := 0.0
+	if throughput > 0 {
+		computeSec = c.ALUOps / throughput
+	}
+
+	// Global memory side.
+	globalBytes := c.GlobalBytes()
+	if prog != nil && prog.LocalMemCandidate && drv.LocalMemoryAutoOpt && drv.LocalMemoryOptFactor > 0 {
+		globalBytes *= drv.LocalMemoryOptFactor
+	}
+	coal := c.CoalescingEfficiency()
+	memEff := drv.MemoryEfficiency
+	if drv.ScatteredMemoryEfficiency > 0 {
+		memEff = drv.ScatteredMemoryEfficiency + (drv.MemoryEfficiency-drv.ScatteredMemoryEfficiency)*coal
+	}
+	if memEff <= 0 {
+		memEff = 1
+	}
+	bytesMoved := globalBytes
+	if coal > 0 {
+		bytesMoved = globalBytes / coal
+	}
+	memSec := 0.0
+	if p.PeakBandwidthGBps > 0 {
+		memSec = bytesMoved / (p.PeakBandwidthGBps * 1e9 * memEff)
+	}
+
+	// Local (shared) memory side.
+	localSec := 0.0
+	if c.LocalOps > 0 && p.PeakBandwidthGBps > 0 {
+		localSec = c.LocalOps * 4 / (p.PeakBandwidthGBps * 1e9 * localMemBandwidthFactor)
+	}
+
+	// Workgroup scheduling: real GPUs overlap workgroup launch with execution,
+	// so scheduling only limits dispatches whose workgroups are too small to
+	// hide it. Model it as another roofline term rather than an additive cost.
+	schedSec := 0.0
+	if p.WorkgroupLaunchOverhead > 0 && p.ComputeUnits > 0 {
+		schedSec = c.Workgroups / float64(p.ComputeUnits) * p.WorkgroupLaunchOverhead.Seconds()
+	}
+
+	busy := computeSec
+	if memSec > busy {
+		busy = memSec
+	}
+	if localSec > busy {
+		busy = localSec
+	}
+	if schedSec > busy {
+		busy = schedSec
+	}
+	return p.DispatchLatency + secondsToDuration(busy)
+}
+
+// TransferDuration returns the simulated time to move n bytes between host and
+// device memory (or between heaps on a unified-memory device).
+func TransferDuration(p *Profile, n int64) time.Duration {
+	if n <= 0 {
+		return p.TransferLatency
+	}
+	gbps := p.TransferGBps
+	if gbps <= 0 {
+		gbps = p.PeakBandwidthGBps / 2
+	}
+	sec := float64(n) / (gbps * 1e9)
+	return p.TransferLatency + secondsToDuration(sec)
+}
+
+// AchievedBandwidthGBps computes the application-visible bandwidth of a
+// dispatch: useful bytes divided by total kernel time, in GB/s. It is the
+// quantity plotted in Figures 1 and 3.
+func AchievedBandwidthGBps(c *kernels.Counters, kernelTime time.Duration) float64 {
+	if kernelTime <= 0 {
+		return 0
+	}
+	return c.GlobalBytes() / kernelTime.Seconds() / 1e9
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,107 @@
+package kernels
+
+import "fmt"
+
+// Counters accumulates the device-side work observed while executing a
+// dispatch. The analytical timing model in internal/hw converts these counts
+// into simulated execution time.
+type Counters struct {
+	// Invocations is the number of kernel invocations (work-items) that were
+	// functionally executed or accounted for by sampling extrapolation.
+	Invocations float64
+	// Workgroups is the number of workgroups accounted for.
+	Workgroups float64
+	// ALUOps is the number of arithmetic operations reported by the kernel via
+	// Invocation.ALU (plus the program's static per-invocation estimate).
+	ALUOps float64
+	// GlobalLoads / GlobalStores count individual global-memory accesses.
+	GlobalLoads  float64
+	GlobalStores float64
+	// GlobalLoadBytes / GlobalStoreBytes are the useful byte volumes of the
+	// above accesses (before coalescing inflation).
+	GlobalLoadBytes  float64
+	GlobalStoreBytes float64
+	// LocalOps counts shared (workgroup-local) memory accesses reported by the
+	// kernel.
+	LocalOps float64
+	// SharedBytesPerGroup is the maximum shared memory footprint requested by
+	// any workgroup.
+	SharedBytesPerGroup float64
+	// Barriers counts workgroup barrier executions (per workgroup).
+	Barriers float64
+	// Coalescing statistics gathered from sampled warps: UsefulBytes is the
+	// byte volume requested by the sampled accesses and TransactionBytes the
+	// byte volume the memory system had to move to satisfy them.
+	SampledUsefulBytes      float64
+	SampledTransactionBytes float64
+	// SampleScale is the factor by which functional execution was scaled up to
+	// cover the full dispatch (1 when every workgroup was executed).
+	SampleScale float64
+}
+
+// GlobalBytes returns the total useful global-memory byte volume.
+func (c *Counters) GlobalBytes() float64 { return c.GlobalLoadBytes + c.GlobalStoreBytes }
+
+// CoalescingEfficiency returns the ratio of useful bytes to transferred bytes
+// observed on sampled warps, in (0, 1]. When no accesses were sampled it
+// returns 1.
+func (c *Counters) CoalescingEfficiency() float64 {
+	if c.SampledTransactionBytes <= 0 || c.SampledUsefulBytes <= 0 {
+		return 1
+	}
+	eff := c.SampledUsefulBytes / c.SampledTransactionBytes
+	if eff > 1 {
+		return 1
+	}
+	return eff
+}
+
+// MemoryBound reports whether the dispatch moved more than 4 useful bytes per
+// ALU op, a crude arithmetic-intensity classifier used in a few tests.
+func (c *Counters) MemoryBound() bool {
+	if c.ALUOps <= 0 {
+		return c.GlobalBytes() > 0
+	}
+	return c.GlobalBytes()/c.ALUOps > 4
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Invocations += other.Invocations
+	c.Workgroups += other.Workgroups
+	c.ALUOps += other.ALUOps
+	c.GlobalLoads += other.GlobalLoads
+	c.GlobalStores += other.GlobalStores
+	c.GlobalLoadBytes += other.GlobalLoadBytes
+	c.GlobalStoreBytes += other.GlobalStoreBytes
+	c.LocalOps += other.LocalOps
+	if other.SharedBytesPerGroup > c.SharedBytesPerGroup {
+		c.SharedBytesPerGroup = other.SharedBytesPerGroup
+	}
+	c.Barriers += other.Barriers
+	c.SampledUsefulBytes += other.SampledUsefulBytes
+	c.SampledTransactionBytes += other.SampledTransactionBytes
+}
+
+// Scale multiplies the extensive counters by f (used when only a sample of
+// workgroups was executed). Coalescing sample statistics are not scaled since
+// the efficiency is a ratio.
+func (c *Counters) Scale(f float64) {
+	if f <= 0 || f == 1 {
+		return
+	}
+	c.Invocations *= f
+	c.Workgroups *= f
+	c.ALUOps *= f
+	c.GlobalLoads *= f
+	c.GlobalStores *= f
+	c.GlobalLoadBytes *= f
+	c.GlobalStoreBytes *= f
+	c.LocalOps *= f
+	c.Barriers *= f
+}
+
+func (c *Counters) String() string {
+	return fmt.Sprintf("inv=%.0f wg=%.0f alu=%.0f gld=%.0f gst=%.0f bytes=%.0f coalesce=%.2f",
+		c.Invocations, c.Workgroups, c.ALUOps, c.GlobalLoads, c.GlobalStores, c.GlobalBytes(), c.CoalescingEfficiency())
+}

@@ -1,0 +1,58 @@
+// Package kernels defines the device-side programming model shared by every
+// API front end (Vulkan, CUDA, OpenCL) in VComputeBench.
+//
+// A kernel is registered once as a Program and is executed functionally by the
+// simulated GPU: the dispatch engine iterates workgroups (possibly in parallel
+// and possibly sampled for very large dispatches), and the kernel body iterates
+// invocations between barriers. All global memory traffic flows through typed
+// buffer views so the engine can count operations and derive memory-coalescing
+// efficiency, which feeds the analytical timing model in internal/hw.
+//
+// Buffers are streams of 32-bit words, mirroring SPIR-V's "stream of 32-bit
+// words" data model; float and integer views reinterpret the same words.
+package kernels
+
+import "fmt"
+
+// Dim3 is a three-dimensional extent or index, as used for global and local
+// workgroup sizes (groupCountX/Y/Z in vkCmdDispatch).
+type Dim3 struct {
+	X, Y, Z int
+}
+
+// D1 returns a one-dimensional Dim3 {n,1,1}.
+func D1(n int) Dim3 { return Dim3{X: n, Y: 1, Z: 1} }
+
+// D2 returns a two-dimensional Dim3 {x,y,1}.
+func D2(x, y int) Dim3 { return Dim3{X: x, Y: y, Z: 1} }
+
+// D3 returns a Dim3 {x,y,z}.
+func D3(x, y, z int) Dim3 { return Dim3{X: x, Y: y, Z: z} }
+
+// Count returns the total number of elements covered by the extent. Zero or
+// negative components count as zero.
+func (d Dim3) Count() int {
+	if d.X <= 0 || d.Y <= 0 || d.Z <= 0 {
+		return 0
+	}
+	return d.X * d.Y * d.Z
+}
+
+// Valid reports whether all components are at least one.
+func (d Dim3) Valid() bool { return d.X >= 1 && d.Y >= 1 && d.Z >= 1 }
+
+func (d Dim3) String() string { return fmt.Sprintf("(%d,%d,%d)", d.X, d.Y, d.Z) }
+
+// linearIndex converts a 3-D index into a linear index within the extent.
+func linearIndex(idx, extent Dim3) int {
+	return (idx.Z*extent.Y+idx.Y)*extent.X + idx.X
+}
+
+// unlinearIndex converts a linear index into a 3-D index within the extent.
+func unlinearIndex(lin int, extent Dim3) Dim3 {
+	x := lin % extent.X
+	rest := lin / extent.X
+	y := rest % extent.Y
+	z := rest / extent.Y
+	return Dim3{X: x, Y: y, Z: z}
+}

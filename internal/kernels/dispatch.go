@@ -1,0 +1,344 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// DefaultMaxExactInvocations bounds the number of invocations executed
+// functionally for a single dispatch before workgroup sampling kicks in.
+// Programs that set Exact are never sampled.
+const DefaultMaxExactInvocations = 1 << 19
+
+// DispatchConfig describes one dispatch of a program: its grid dimensions,
+// bound resources and the architectural parameters needed by the coalescing
+// model.
+type DispatchConfig struct {
+	// Groups is the number of workgroups in X/Y/Z (vkCmdDispatch arguments).
+	Groups Dim3
+	// Buffers are the storage buffers bound to the kernel, indexed by binding
+	// number. Entries may be nil if the kernel does not touch that binding.
+	Buffers []Words
+	// Push holds the push-constant (or parameter buffer) words.
+	Push Words
+	// WarpSize is the SIMD width used to group invocations for the coalescing
+	// model (32 for NVIDIA/Adreno-style, 64 for GCN wavefronts).
+	WarpSize int
+	// CacheLineBytes is the memory transaction granularity.
+	CacheLineBytes int
+	// MaxExactInvocations overrides DefaultMaxExactInvocations when positive.
+	MaxExactInvocations int
+	// Parallelism limits the number of worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Dispatch is the execution state of one kernel dispatch.
+type Dispatch struct {
+	Program *Program
+	cfg     DispatchConfig
+	local   Dim3
+
+	counters Counters
+	ctrMu    sync.Mutex
+	atomicMu sync.Mutex
+}
+
+// Execute functionally runs the program over the configured grid and returns
+// the accumulated counters. Buffers are mutated in place.
+func Execute(p *Program, cfg DispatchConfig) (*Counters, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Groups.Valid() {
+		return nil, fmt.Errorf("kernels: dispatch of %q has invalid group count %v", p.Name, cfg.Groups)
+	}
+	if len(cfg.Buffers) < p.Bindings {
+		return nil, fmt.Errorf("kernels: dispatch of %q binds %d buffers, kernel declares %d",
+			p.Name, len(cfg.Buffers), p.Bindings)
+	}
+	if len(cfg.Push) < p.PushConstantWords {
+		return nil, fmt.Errorf("kernels: dispatch of %q provides %d push words, kernel declares %d",
+			p.Name, len(cfg.Push), p.PushConstantWords)
+	}
+	if cfg.WarpSize <= 0 {
+		cfg.WarpSize = 32
+	}
+	if cfg.CacheLineBytes <= 0 {
+		cfg.CacheLineBytes = 64
+	}
+	d := &Dispatch{Program: p, cfg: cfg, local: p.LocalSize}
+
+	totalGroups := cfg.Groups.Count()
+	invPerGroup := d.local.Count()
+	totalInv := totalGroups * invPerGroup
+
+	maxExact := cfg.MaxExactInvocations
+	if maxExact <= 0 {
+		maxExact = DefaultMaxExactInvocations
+	}
+	stride := 1
+	if !p.Exact && totalInv > maxExact {
+		stride = (totalInv + maxExact - 1) / maxExact
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	executedGroups := (totalGroups + stride - 1) / stride
+	scale := float64(totalGroups) / float64(executedGroups)
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > executedGroups {
+		workers = executedGroups
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var wgWait sync.WaitGroup
+	groupsPerWorker := (executedGroups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * groupsPerWorker
+		end := start + groupsPerWorker
+		if end > executedGroups {
+			end = executedGroups
+		}
+		if start >= end {
+			continue
+		}
+		wgWait.Add(1)
+		go func(start, end int) {
+			defer wgWait.Done()
+			var local Counters
+			wg := &Workgroup{disp: d}
+			for e := start; e < end; e++ {
+				groupIndex := e * stride
+				wg.reset(groupIndex, unlinearIndex(groupIndex, cfg.Groups))
+				// Record coalescing samples on the first executed workgroup of
+				// each worker's range to keep sampling cheap yet representative.
+				wg.recording = e == start || e == end-1
+				wg.ctr.Workgroups++
+				p.Fn(wg)
+				wg.finishRecording()
+				local.Add(&wg.ctr)
+			}
+			d.ctrMu.Lock()
+			d.counters.Add(&local)
+			d.ctrMu.Unlock()
+		}(start, end)
+	}
+	wgWait.Wait()
+
+	d.counters.Scale(scale)
+	d.counters.SampleScale = scale
+	if p.ALUPerInvocation > 0 {
+		d.counters.ALUOps += float64(p.ALUPerInvocation) * d.counters.Invocations
+	}
+	if p.SharedWordsPerGroup > 0 {
+		shared := float64(p.SharedWordsPerGroup * 4)
+		if shared > d.counters.SharedBytesPerGroup {
+			d.counters.SharedBytesPerGroup = shared
+		}
+	}
+	out := d.counters
+	return &out, nil
+}
+
+// accessGroup collects the cache lines touched by one (warp, access-ordinal)
+// pair on a sampled workgroup.
+type accessGroup struct {
+	count int
+	lines map[uint64]struct{}
+}
+
+// Workgroup is the execution context of one workgroup. It is reused across
+// workgroups by the dispatch engine; kernel bodies must not retain it.
+type Workgroup struct {
+	disp       *Dispatch
+	id         Dim3
+	groupIndex int
+	ctr        Counters
+	recording  bool
+	accesses   map[uint64]*accessGroup
+	inv        Invocation
+	sharedUsed int
+}
+
+func (wg *Workgroup) reset(groupIndex int, id Dim3) {
+	wg.groupIndex = groupIndex
+	wg.id = id
+	wg.ctr = Counters{}
+	wg.recording = false
+	wg.accesses = nil
+	wg.sharedUsed = 0
+	wg.inv = Invocation{wg: wg}
+}
+
+// ID returns the 3-D workgroup index (WorkgroupId in SPIR-V).
+func (wg *Workgroup) ID() Dim3 { return wg.id }
+
+// GroupIndex returns the linearised workgroup index.
+func (wg *Workgroup) GroupIndex() int { return wg.groupIndex }
+
+// Groups returns the dispatch grid size in workgroups.
+func (wg *Workgroup) Groups() Dim3 { return wg.disp.cfg.Groups }
+
+// LocalSize returns the workgroup's local size.
+func (wg *Workgroup) LocalSize() Dim3 { return wg.disp.local }
+
+// Buffer returns a counted view of the storage buffer at the given binding.
+func (wg *Workgroup) Buffer(binding int) BufferView {
+	if binding < 0 || binding >= len(wg.disp.cfg.Buffers) {
+		panic(fmt.Sprintf("kernels: %s accesses unbound binding %d", wg.disp.Program.Name, binding))
+	}
+	return BufferView{data: wg.disp.cfg.Buffers[binding], wg: wg, binding: binding}
+}
+
+// PushU32 reads push-constant word i as an unsigned integer.
+func (wg *Workgroup) PushU32(i int) uint32 { return wg.disp.cfg.Push[i] }
+
+// PushI32 reads push-constant word i as a signed integer.
+func (wg *Workgroup) PushI32(i int) int32 { return int32(wg.disp.cfg.Push[i]) }
+
+// PushF32 reads push-constant word i as a float.
+func (wg *Workgroup) PushF32(i int) float32 { return math.Float32frombits(wg.disp.cfg.Push[i]) }
+
+// SharedF32 allocates a workgroup-local float array of n elements. The
+// allocation counts toward the workgroup's shared-memory footprint.
+func (wg *Workgroup) SharedF32(n int) []float32 {
+	wg.noteShared(n * 4)
+	return make([]float32, n)
+}
+
+// SharedI32 allocates a workgroup-local int array of n elements.
+func (wg *Workgroup) SharedI32(n int) []int32 {
+	wg.noteShared(n * 4)
+	return make([]int32, n)
+}
+
+func (wg *Workgroup) noteShared(bytes int) {
+	wg.sharedUsed += bytes
+	if float64(wg.sharedUsed) > wg.ctr.SharedBytesPerGroup {
+		wg.ctr.SharedBytesPerGroup = float64(wg.sharedUsed)
+	}
+}
+
+// LocalOp accounts for n accesses to workgroup-local (shared) memory.
+func (wg *Workgroup) LocalOp(n int) { wg.ctr.LocalOps += float64(n) }
+
+// Barrier marks a workgroup-wide execution and memory barrier. Synchronisation
+// semantics are already provided by the phase structure (each ForEach pass
+// completes before the next starts); Barrier exists to account for the cost.
+func (wg *Workgroup) Barrier() { wg.ctr.Barriers++ }
+
+// ForEach runs fn once per invocation in the workgroup. Successive ForEach
+// calls form barrier-separated phases. The *Invocation passed to fn is reused
+// between invocations and must not be retained.
+func (wg *Workgroup) ForEach(fn func(inv *Invocation)) {
+	local := wg.disp.local
+	inv := &wg.inv
+	for z := 0; z < local.Z; z++ {
+		for y := 0; y < local.Y; y++ {
+			for x := 0; x < local.X; x++ {
+				inv.local = Dim3{X: x, Y: y, Z: z}
+				inv.localIndex = (z*local.Y+y)*local.X + x
+				inv.global = Dim3{
+					X: wg.id.X*local.X + x,
+					Y: wg.id.Y*local.Y + y,
+					Z: wg.id.Z*local.Z + z,
+				}
+				inv.ordinal = 0
+				wg.ctr.Invocations++
+				fn(inv)
+			}
+		}
+	}
+}
+
+// noteLoad records one 4-byte global load by inv at element index idx of the
+// given binding.
+func (wg *Workgroup) noteLoad(inv *Invocation, binding, idx int) {
+	wg.ctr.GlobalLoads++
+	wg.ctr.GlobalLoadBytes += 4
+	if wg.recording {
+		wg.recordAccess(inv, binding, idx)
+	}
+	inv.ordinal++
+}
+
+// noteStore records one 4-byte global store.
+func (wg *Workgroup) noteStore(inv *Invocation, binding, idx int) {
+	wg.ctr.GlobalStores++
+	wg.ctr.GlobalStoreBytes += 4
+	if wg.recording {
+		wg.recordAccess(inv, binding, idx)
+	}
+	inv.ordinal++
+}
+
+func (wg *Workgroup) recordAccess(inv *Invocation, binding, idx int) {
+	if wg.accesses == nil {
+		wg.accesses = make(map[uint64]*accessGroup)
+	}
+	warp := inv.localIndex / wg.disp.cfg.WarpSize
+	key := uint64(warp)<<32 | uint64(uint32(inv.ordinal))
+	grp, ok := wg.accesses[key]
+	if !ok {
+		grp = &accessGroup{lines: make(map[uint64]struct{})}
+		wg.accesses[key] = grp
+	}
+	grp.count++
+	byteAddr := uint64(idx) * 4
+	line := uint64(binding)<<40 | byteAddr/uint64(wg.disp.cfg.CacheLineBytes)
+	grp.lines[line] = struct{}{}
+}
+
+func (wg *Workgroup) finishRecording() {
+	if wg.accesses == nil {
+		return
+	}
+	lineBytes := float64(wg.disp.cfg.CacheLineBytes)
+	for _, grp := range wg.accesses {
+		wg.ctr.SampledUsefulBytes += float64(grp.count) * 4
+		wg.ctr.SampledTransactionBytes += float64(len(grp.lines)) * lineBytes
+	}
+	wg.accesses = nil
+}
+
+// Invocation identifies a single work-item within a workgroup. The same
+// Invocation value is reused for every work-item of a ForEach pass.
+type Invocation struct {
+	wg         *Workgroup
+	local      Dim3
+	global     Dim3
+	localIndex int
+	ordinal    int
+}
+
+// LocalID returns the invocation's LocalInvocationId.
+func (inv *Invocation) LocalID() Dim3 { return inv.local }
+
+// GlobalID returns the invocation's GlobalInvocationId.
+func (inv *Invocation) GlobalID() Dim3 { return inv.global }
+
+// LocalIndex returns the linearised local index within the workgroup.
+func (inv *Invocation) LocalIndex() int { return inv.localIndex }
+
+// GlobalX is shorthand for GlobalID().X.
+func (inv *Invocation) GlobalX() int { return inv.global.X }
+
+// GlobalY is shorthand for GlobalID().Y.
+func (inv *Invocation) GlobalY() int { return inv.global.Y }
+
+// LocalX is shorthand for LocalID().X.
+func (inv *Invocation) LocalX() int { return inv.local.X }
+
+// LocalY is shorthand for LocalID().Y.
+func (inv *Invocation) LocalY() int { return inv.local.Y }
+
+// ALU accounts for n arithmetic operations performed by the invocation.
+func (inv *Invocation) ALU(n int) { inv.wg.ctr.ALUOps += float64(n) }

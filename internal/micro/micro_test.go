@@ -1,0 +1,101 @@
+package micro
+
+import (
+	"testing"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+)
+
+func runOnce(t *testing.T, platformID, benchName string, api hw.API, wl core.Workload) *core.Result {
+	t.Helper()
+	p, err := platforms.ByID(platformID)
+	if err != nil {
+		t.Fatalf("platform: %v", err)
+	}
+	b, err := core.Get(benchName)
+	if err != nil {
+		t.Fatalf("benchmark: %v", err)
+	}
+	r := &core.Runner{Repetitions: 1, Seed: 7, Validate: true}
+	res, err := r.Run(p, b, api, wl)
+	if err != nil {
+		t.Fatalf("run %s/%s: %v", benchName, api, err)
+	}
+	return res
+}
+
+func TestVectorAddAllAPIsMatch(t *testing.T) {
+	wl := core.Workload{Label: "64K", Params: map[string]int{"n": 64 << 10}}
+	vk := runOnce(t, platforms.IDGTX1050Ti, "vectoradd", hw.APIVulkan, wl)
+	cu := runOnce(t, platforms.IDGTX1050Ti, "vectoradd", hw.APICUDA, wl)
+	cl := runOnce(t, platforms.IDGTX1050Ti, "vectoradd", hw.APIOpenCL, wl)
+	if vk.Checksum != cu.Checksum || vk.Checksum != cl.Checksum {
+		t.Fatalf("checksums differ: vulkan=%v cuda=%v opencl=%v", vk.Checksum, cu.Checksum, cl.Checksum)
+	}
+	for _, r := range []*core.Result{vk, cu, cl} {
+		if r.KernelTime <= 0 {
+			t.Fatalf("%s: kernel time not positive: %v", r.API, r.KernelTime)
+		}
+		if r.TotalTime < r.KernelTime {
+			t.Fatalf("%s: total time %v < kernel time %v", r.API, r.TotalTime, r.KernelTime)
+		}
+	}
+}
+
+func TestVectorAddMobilePlatform(t *testing.T) {
+	wl := core.Workload{Label: "16K", Params: map[string]int{"n": 16 << 10}}
+	vk := runOnce(t, platforms.IDNexus, "vectoradd", hw.APIVulkan, wl)
+	cl := runOnce(t, platforms.IDNexus, "vectoradd", hw.APIOpenCL, wl)
+	if vk.Checksum != cl.Checksum {
+		t.Fatalf("checksums differ on mobile: vulkan=%v opencl=%v", vk.Checksum, cl.Checksum)
+	}
+}
+
+func TestBandwidthDecreasesWithStride(t *testing.T) {
+	small := core.Workload{Label: "1", Params: map[string]int{"stride": 1, "threads": 256 << 10, "iterations": 4}}
+	large := core.Workload{Label: "32", Params: map[string]int{"stride": 32, "threads": 256 << 10, "iterations": 4}}
+	bw1 := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APICUDA, small).ExtraValue(ExtraBandwidthGBps)
+	bw32 := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APICUDA, large).ExtraValue(ExtraBandwidthGBps)
+	if bw1 <= 0 || bw32 <= 0 {
+		t.Fatalf("bandwidths must be positive: %v %v", bw1, bw32)
+	}
+	if bw32 >= bw1 {
+		t.Fatalf("bandwidth should fall with stride: stride1=%.2f GB/s stride32=%.2f GB/s", bw1, bw32)
+	}
+	peak := platforms.GTX1050Ti().Profile.PeakBandwidthGBps
+	if bw1 > peak {
+		t.Fatalf("achieved bandwidth %.2f exceeds peak %.2f", bw1, peak)
+	}
+	if bw1 < 0.5*peak {
+		t.Fatalf("unit-stride bandwidth %.2f is implausibly low vs peak %.2f", bw1, peak)
+	}
+}
+
+func TestBandwidthCUDAFasterThanVulkanAtUnitStride(t *testing.T) {
+	// §V-A1: at unit stride CUDA achieves 84% of peak vs 79.6% for Vulkan on
+	// the GTX 1050 Ti. Use the benchmark's own unit-stride workload.
+	wl := (&MemBandwidth{}).Workloads(hw.ClassDesktop)[0]
+	wl = wl.WithParam("iterations", 32) // long run so the first-launch latency is amortised
+	cu := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APICUDA, wl).ExtraValue(ExtraBandwidthGBps)
+	vk := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APIVulkan, wl).ExtraValue(ExtraBandwidthGBps)
+	if cu <= vk {
+		t.Fatalf("expected CUDA > Vulkan at unit stride, got cuda=%.2f vulkan=%.2f", cu, vk)
+	}
+}
+
+func TestMembandwidthWorkloadsCoverPaperStrides(t *testing.T) {
+	var mb MemBandwidth
+	desk := mb.Workloads(hw.ClassDesktop)
+	if len(desk) != len(DesktopStrides()) {
+		t.Fatalf("desktop workload count = %d, want %d", len(desk), len(DesktopStrides()))
+	}
+	mob := mb.Workloads(hw.ClassMobile)
+	if len(mob) != len(MobileStrides()) {
+		t.Fatalf("mobile workload count = %d, want %d", len(mob), len(MobileStrides()))
+	}
+	if mob[0].Param("threads", 0) >= desk[0].Param("threads", 0) {
+		t.Fatalf("mobile thread count should be smaller than desktop")
+	}
+}

@@ -1,0 +1,205 @@
+// Package report renders experiment results as text tables, simple ASCII
+// charts and CSV, for the CLI harness and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row, padding or truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+	}
+	return b.String()
+}
+
+// Series is a set of named lines over a shared categorical x axis (e.g.
+// bandwidth vs stride per API, or speedup per benchmark/workload per API).
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []string
+	Order  []string
+	Lines  map[string][]float64
+}
+
+// NewSeries creates an empty series over the given x values.
+func NewSeries(title, xLabel, yLabel string, x []string) *Series {
+	return &Series{Title: title, XLabel: xLabel, YLabel: yLabel, X: x, Lines: map[string][]float64{}}
+}
+
+// Set stores the y value of a line at x index i.
+func (s *Series) Set(line string, i int, y float64) {
+	if _, ok := s.Lines[line]; !ok {
+		s.Lines[line] = make([]float64, len(s.X))
+		s.Order = append(s.Order, line)
+	}
+	if i >= 0 && i < len(s.X) {
+		s.Lines[line][i] = y
+	}
+}
+
+// Table converts the series to a table with one row per x value.
+func (s *Series) Table() *Table {
+	cols := append([]string{s.XLabel}, s.Order...)
+	t := &Table{Title: s.Title, Columns: cols}
+	for i, x := range s.X {
+		row := []string{x}
+		for _, name := range s.Order {
+			row = append(row, fmt.Sprintf("%.3f", s.Lines[name][i]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Chart renders a crude ASCII bar chart: one group of bars per x value.
+func (s *Series) Chart(width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, ys := range s.Lines {
+		for _, y := range ys {
+			if y > max {
+				max = y
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s, max %.2f)\n", s.Title, s.YLabel, max)
+	for i, x := range s.X {
+		fmt.Fprintf(&b, "%s\n", x)
+		for _, name := range s.Order {
+			y := s.Lines[name][i]
+			n := int(y / max * float64(width))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-8s %-*s %.3f\n", name, width, strings.Repeat("#", n), y)
+		}
+	}
+	return b.String()
+}
+
+// Document is the rendered output of one experiment.
+type Document struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	Series []*Series
+	Notes  []string
+}
+
+// Render formats the whole document as text.
+func (d *Document) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n\n", d.ID, d.Title)
+	for _, t := range d.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, s := range d.Series {
+		b.WriteString(s.Table().Render())
+		b.WriteByte('\n')
+	}
+	for _, n := range d.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders every table and series of the document as CSV blocks.
+func (d *Document) CSV() string {
+	var b strings.Builder
+	for _, t := range d.Tables {
+		b.WriteString(t.CSV())
+		b.WriteByte('\n')
+	}
+	for _, s := range d.Series {
+		b.WriteString(s.Table().CSV())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Package nn implements the K-Nearest Neighbors benchmark of Table I (dwarf:
+// Dense Linear Algebra, domain: Data Mining). A single kernel computes the
+// Euclidean distance from a query point to every reference point
+// (latitude/longitude records, as in Rodinia's hurricane data set); the host
+// then selects the K closest records.
+//
+// With a single large dispatch and no inter-iteration dependencies, the three
+// APIs perform nearly identically on this workload (§V-A2); the Vulkan port
+// uses its own command buffer per dispatch.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vcomputebench/internal/bench"
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/glsl"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/rodinia"
+)
+
+const kernelName = "nn_euclid"
+
+// K is the number of neighbours selected by the host, as in Rodinia's default.
+const K = 5
+
+func init() {
+	kernels.MustRegister(&kernels.Program{
+		Name:              kernelName,
+		LocalSize:         kernels.D1(256),
+		Bindings:          2,
+		PushConstantWords: 3,
+		Fn:                euclidKernel,
+	})
+	glsl.RegisterSource(kernelName, glslEuclid)
+	core.Register(&Benchmark{})
+}
+
+// euclidKernel computes the distance from the query to every record.
+// Bindings: locations (lat,lng pairs), distances. Push: n, latBits, lngBits.
+func euclidKernel(wg *kernels.Workgroup) {
+	n := int(wg.PushU32(0))
+	lat := wg.PushF32(1)
+	lng := wg.PushF32(2)
+	locations := wg.Buffer(0)
+	distances := wg.Buffer(1)
+	wg.ForEach(func(inv *kernels.Invocation) {
+		i := inv.GlobalX()
+		if i >= n {
+			return
+		}
+		dlat := locations.LoadF32(inv, 2*i) - lat
+		dlng := locations.LoadF32(inv, 2*i+1) - lng
+		d := float32(math.Sqrt(float64(dlat*dlat + dlng*dlng)))
+		distances.StoreF32(inv, i, d)
+		inv.ALU(6)
+	})
+}
+
+type algorithm struct {
+	n         int
+	locations []float32
+	lat, lng  float32
+}
+
+func (a *algorithm) Buffers() []rodinia.BufferSpec {
+	return []rodinia.BufferSpec{
+		{Name: "locations", Init: kernels.F32ToWords(a.locations)},
+		{Name: "distances", Words: a.n},
+	}
+}
+
+func (a *algorithm) Kernels() []string { return []string{kernelName} }
+
+// SeparateSubmits implements rodinia.SeparateSubmits: nn records its single
+// kernel onto its own command buffer (§V-A2).
+func (a *algorithm) SeparateSubmits() bool { return true }
+
+func (a *algorithm) NextPhase(phase int, io rodinia.IO) ([]rodinia.Step, error) {
+	if phase > 0 {
+		return nil, nil
+	}
+	return []rodinia.Step{{
+		Kernel:  kernelName,
+		Groups:  kernels.D1((a.n + 255) / 256),
+		Buffers: []int{0, 1},
+		Push: kernels.Words{
+			uint32(a.n),
+			math.Float32bits(a.lat),
+			math.Float32bits(a.lng),
+		},
+	}}, nil
+}
+
+// nearest returns the indices of the k smallest distances.
+func nearest(distances []float32, k int) []int {
+	idx := make([]int, len(distances))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if distances[idx[a]] != distances[idx[b]] {
+			return distances[idx[a]] < distances[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// Benchmark implements core.Benchmark for nn.
+type Benchmark struct{}
+
+// Name implements core.Benchmark.
+func (*Benchmark) Name() string { return "nn" }
+
+// Dwarf implements core.Benchmark.
+func (*Benchmark) Dwarf() string { return "Dense Linear Algebra" }
+
+// Domain implements core.Benchmark.
+func (*Benchmark) Domain() string { return "Data Mining" }
+
+// Description implements core.Benchmark.
+func (*Benchmark) Description() string {
+	return "K-nearest-neighbour search over latitude/longitude records (Rodinia nn)"
+}
+
+// APIs implements core.Benchmark.
+func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
+
+// Workloads implements core.Benchmark.
+func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+	if class == hw.ClassMobile {
+		return []core.Workload{
+			{Label: "256K", Params: map[string]int{"n": 256 << 10}},
+			{Label: "8M", Params: map[string]int{"n": 8 << 20}},
+		}
+	}
+	return []core.Workload{
+		{Label: "256K", Params: map[string]int{"n": 256 << 10}},
+		{Label: "8M", Params: map[string]int{"n": 8 << 20}},
+		{Label: "16M", Params: map[string]int{"n": 16 << 20}},
+	}
+}
+
+// Run implements core.Benchmark.
+func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+	n := ctx.Workload.Param("n", 256<<10)
+	locations := bench.RandomF32(ctx.Seed, 2*n, 0, 90)
+	alg := &algorithm{n: n, locations: locations, lat: 30, lng: 59}
+
+	out, err := rodinia.Run(ctx, alg, []int{1})
+	if err != nil {
+		return nil, err
+	}
+	distances := kernels.WordsToF32(out.Buffers[1])[:n]
+	best := nearest(distances, K)
+
+	if ctx.Validate {
+		want := make([]float32, n)
+		for i := 0; i < n; i++ {
+			dlat := locations[2*i] - alg.lat
+			dlng := locations[2*i+1] - alg.lng
+			want[i] = float32(math.Sqrt(float64(dlat*dlat + dlng*dlng)))
+		}
+		for i := range want {
+			if bench.AbsDiff(distances[i], want[i]) > 1e-4 {
+				return nil, fmt.Errorf("nn: distance %d = %v, want %v", i, distances[i], want[i])
+			}
+		}
+	}
+	sel := make([]float32, 0, 2*len(best))
+	for _, idx := range best {
+		sel = append(sel, float32(idx), distances[idx])
+	}
+	return &core.Result{
+		KernelTime: out.KernelTime,
+		TotalTime:  ctx.Host.Now(),
+		Dispatches: out.Dispatches,
+		Checksum:   core.ChecksumF32(sel),
+	}, nil
+}
+
+const glslEuclid = `#version 450
+layout(local_size_x = 256) in;
+layout(std430, set = 0, binding = 0) buffer Locations { float loc[]; };
+layout(std430, set = 0, binding = 1) buffer Distances { float dist[]; };
+layout(push_constant) uniform Params { uint n; float lat; float lng; } p;
+void main() {
+    uint i = gl_GlobalInvocationID.x;
+    if (i >= p.n) return;
+    float dlat = loc[2u*i] - p.lat, dlng = loc[2u*i+1u] - p.lng;
+    dist[i] = sqrt(dlat*dlat + dlng*dlng);
+}
+`

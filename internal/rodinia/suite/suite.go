@@ -1,0 +1,51 @@
+// Package suite links every VComputeBench workload into the binary: importing
+// it registers the nine Rodinia ports of Table I plus the two microbenchmarks
+// with the core registry.
+package suite
+
+import (
+	// Register the microbenchmarks (vectoradd, membandwidth).
+	_ "vcomputebench/internal/micro"
+
+	// Register the nine Rodinia ports of Table I.
+	_ "vcomputebench/internal/rodinia/backprop"
+	_ "vcomputebench/internal/rodinia/bfs"
+	_ "vcomputebench/internal/rodinia/cfd"
+	_ "vcomputebench/internal/rodinia/gaussian"
+	_ "vcomputebench/internal/rodinia/hotspot"
+	_ "vcomputebench/internal/rodinia/lud"
+	_ "vcomputebench/internal/rodinia/nn"
+	_ "vcomputebench/internal/rodinia/nw"
+	_ "vcomputebench/internal/rodinia/pathfinder"
+
+	"vcomputebench/internal/core"
+)
+
+// RodiniaNames returns the nine Rodinia workloads in Table I order.
+func RodiniaNames() []string {
+	return []string{
+		"backprop", "bfs", "cfd", "gaussian", "hotspot", "lud", "nn", "nw", "pathfinder",
+	}
+}
+
+// FigureOrder returns the workloads in the order they appear on the x axis of
+// Figures 2 and 4.
+func FigureOrder() []string {
+	return []string{
+		"bfs", "backprop", "cfd", "gaussian", "hotspot", "lud", "nn", "nw", "pathfinder",
+	}
+}
+
+// Rodinia returns the nine registered Rodinia benchmarks in Table I order.
+func Rodinia() ([]core.Benchmark, error) {
+	names := RodiniaNames()
+	out := make([]core.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := core.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+// Package sim provides the virtual-time primitives used by the simulated GPU
+// devices and host runtimes.
+//
+// All timing produced by VComputeBench is simulated time, not wall-clock time.
+// The paper measures execution times on the CPU using std::chrono around
+// submissions and waits; this package models the equivalent host clock plus the
+// per-engine timelines (queues, DMA engines) the host synchronises with.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. The zero value is a clock
+// at time zero, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored so a
+// caller can safely advance by a computed delta that may round to a negative
+// value.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current time.
+// It returns the resulting time.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Only tests should use this.
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}
+
+// Span is a named interval on a timeline, used for tracing what the simulated
+// device did and when.
+type Span struct {
+	Name  string
+	Queue string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration returns the length of the span.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+func (s Span) String() string {
+	return fmt.Sprintf("%s[%s]: %v..%v (%v)", s.Queue, s.Name, s.Start, s.End, s.Duration())
+}
+
+// Timeline records spans of simulated activity. It is safe for concurrent use.
+type Timeline struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Record appends a span to the timeline.
+func (t *Timeline) Record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, s)
+}
+
+// Spans returns a copy of all recorded spans in insertion order.
+func (t *Timeline) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Busy returns the total busy time recorded for the named queue. An empty
+// queue name sums across all queues.
+func (t *Timeline) Busy(queue string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.spans {
+		if queue == "" || s.Queue == queue {
+			total += s.Duration()
+		}
+	}
+	return total
+}
+
+// Len reports the number of recorded spans.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset clears the timeline.
+func (t *Timeline) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = nil
+}

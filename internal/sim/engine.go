@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Engine models a single in-order execution engine (a device queue, a DMA
+// engine, ...). Work scheduled on an engine starts no earlier than the engine
+// becomes free and no earlier than the requested earliest start time, and runs
+// for its estimated duration.
+type Engine struct {
+	mu          sync.Mutex
+	name        string
+	availableAt time.Duration
+	timeline    *Timeline
+}
+
+// NewEngine creates an engine with the given name. The timeline may be nil if
+// tracing is not required.
+func NewEngine(name string, tl *Timeline) *Engine {
+	return &Engine{name: name, timeline: tl}
+}
+
+// Name returns the engine name.
+func (e *Engine) Name() string { return e.name }
+
+// AvailableAt reports the earliest time at which new work could start.
+func (e *Engine) AvailableAt() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.availableAt
+}
+
+// Schedule places a unit of work of length d on the engine, starting no
+// earlier than earliest. It returns the start and completion times.
+func (e *Engine) Schedule(name string, earliest, d time.Duration) (start, end time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	start = e.availableAt
+	if earliest > start {
+		start = earliest
+	}
+	end = start + d
+	e.availableAt = end
+	e.mu.Unlock()
+	if e.timeline != nil {
+		e.timeline.Record(Span{Name: name, Queue: e.name, Start: start, End: end})
+	}
+	return start, end
+}
+
+// Reset clears the engine's occupancy. Only tests should use this.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.availableAt = 0
+}
+
+// Host models the CPU side of the platform: a virtual clock the benchmarks
+// read with the simulated equivalent of std::chrono, plus helpers for
+// host-side busy work (API call overheads, validation, driver work).
+type Host struct {
+	clock    Clock
+	timeline Timeline
+}
+
+// NewHost returns a host whose clock starts at zero.
+func NewHost() *Host { return &Host{} }
+
+// Now returns the current host time.
+func (h *Host) Now() time.Duration { return h.clock.Now() }
+
+// Spend advances the host clock by d, modelling CPU-side work such as API
+// validation, command recording or driver bookkeeping, and returns the new
+// time.
+func (h *Host) Spend(what string, d time.Duration) time.Duration {
+	if d <= 0 {
+		return h.clock.Now()
+	}
+	start := h.clock.Now()
+	end := h.clock.Advance(d)
+	h.timeline.Record(Span{Name: what, Queue: "host", Start: start, End: end})
+	return end
+}
+
+// WaitUntil blocks (in virtual time) until t: the host clock is advanced to t
+// if t is in the future.
+func (h *Host) WaitUntil(t time.Duration) time.Duration {
+	start := h.clock.Now()
+	end := h.clock.AdvanceTo(t)
+	if end > start {
+		h.timeline.Record(Span{Name: "wait", Queue: "host", Start: start, End: end})
+	}
+	return end
+}
+
+// Timeline exposes the host activity trace.
+func (h *Host) Timeline() *Timeline { return &h.timeline }
+
+// Reset rewinds the host clock and clears its trace. Only tests and the
+// benchmark runner (between repetitions) should use this.
+func (h *Host) Reset() {
+	h.clock.Reset()
+	h.timeline.Reset()
+}
+
+// Stopwatch measures an interval of host virtual time, mirroring the paper's
+// use of std::chrono::high_resolution_clock on the CPU.
+type Stopwatch struct {
+	host  *Host
+	start time.Duration
+}
+
+// StartStopwatch begins a measurement at the current host time.
+func StartStopwatch(h *Host) *Stopwatch {
+	return &Stopwatch{host: h, start: h.Now()}
+}
+
+// Elapsed returns the virtual time elapsed since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration { return s.host.Now() - s.start }
+
+func (s *Stopwatch) String() string {
+	return fmt.Sprintf("stopwatch(start=%v elapsed=%v)", s.start, s.Elapsed())
+}

@@ -1,0 +1,84 @@
+package spirv
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opcodeNames maps the opcodes the disassembler understands to their SPIR-V
+// mnemonic.
+var opcodeNames = map[uint32]string{
+	OpSource:          "OpSource",
+	OpSourceExtension: "OpSourceExtension",
+	OpName:            "OpName",
+	OpMemoryModel:     "OpMemoryModel",
+	OpEntryPoint:      "OpEntryPoint",
+	OpExecutionMode:   "OpExecutionMode",
+	OpCapability:      "OpCapability",
+	OpTypeVoid:        "OpTypeVoid",
+	OpTypeInt:         "OpTypeInt",
+	OpTypeFloat:       "OpTypeFloat",
+	OpTypeRuntimeArr:  "OpTypeRuntimeArray",
+	OpTypeStruct:      "OpTypeStruct",
+	OpTypePointer:     "OpTypePointer",
+	OpTypeFunction:    "OpTypeFunction",
+	OpVariable:        "OpVariable",
+	OpDecorate:        "OpDecorate",
+	OpMemberDecorate:  "OpMemberDecorate",
+	OpFunction:        "OpFunction",
+	OpFunctionEnd:     "OpFunctionEnd",
+	OpLabel:           "OpLabel",
+	OpReturn:          "OpReturn",
+}
+
+// Disassemble renders the module as human-readable text, one instruction per
+// line, loosely following spirv-dis output. It is a debugging aid, not a
+// round-trippable format.
+func Disassemble(words []uint32) (string, error) {
+	if len(words) < 5 {
+		return "", ErrTooShort
+	}
+	if words[0] != MagicNumber {
+		return "", ErrBadMagic
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; SPIR-V\n; Version: %d.%d\n; Generator: %#x\n; Bound: %d\n; Schema: %d\n",
+		words[1]>>16, (words[1]>>8)&0xff, words[2], words[3], words[4])
+	i := 5
+	for i < len(words) {
+		first := words[i]
+		wc := int(first >> 16)
+		op := first & 0xFFFF
+		if wc == 0 || i+wc > len(words) {
+			return "", fmt.Errorf("%w at word %d", ErrTruncated, i)
+		}
+		name, ok := opcodeNames[op]
+		if !ok {
+			name = fmt.Sprintf("Op<%d>", op)
+		}
+		operands := words[i+1 : i+wc]
+		fmt.Fprintf(&b, "%-22s", name)
+		switch op {
+		case OpEntryPoint:
+			if len(operands) >= 3 {
+				s, _ := unpackString(operands[2:])
+				fmt.Fprintf(&b, " GLCompute %%%d %q", operands[1], s)
+			}
+		case OpName:
+			if len(operands) >= 2 {
+				s, _ := unpackString(operands[1:])
+				fmt.Fprintf(&b, " %%%d %q", operands[0], s)
+			}
+		case OpSourceExtension:
+			s, _ := unpackString(operands)
+			fmt.Fprintf(&b, " %q", s)
+		default:
+			for _, o := range operands {
+				fmt.Fprintf(&b, " %d", o)
+			}
+		}
+		b.WriteByte('\n')
+		i += wc
+	}
+	return b.String(), nil
+}

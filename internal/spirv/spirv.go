@@ -1,0 +1,350 @@
+// Package spirv implements the subset of the SPIR-V binary format that the
+// VComputeBench Vulkan path consumes: a self-contained stream of 32-bit words
+// beginning with a header, followed by instructions that declare capabilities,
+// the memory model, a GLCompute entry point, its LocalSize execution mode,
+// names, decorations (DescriptorSet/Binding) and a skeletal function body.
+//
+// The encoder produces modules the decoder, validator and disassembler accept;
+// the Vulkan layer's driver compiler extracts the entry point name and binding
+// interface from the module and resolves the executable kernel body from the
+// kernels registry, mirroring how the paper's flow consumes binaries compiled
+// offline from GLSL with glslangValidator.
+package spirv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MagicNumber is the SPIR-V magic number.
+const MagicNumber uint32 = 0x07230203
+
+// Version encodes SPIR-V 1.0 as used by Vulkan 1.0 drivers in the paper.
+const Version uint32 = 0x00010000
+
+// GeneratorMagic identifies this tool chain in the module header.
+const GeneratorMagic uint32 = 0x00564342 // "VCB"
+
+// Opcodes (subset).
+const (
+	OpSource          = 3
+	OpSourceExtension = 4
+	OpName            = 5
+	OpMemoryModel     = 14
+	OpEntryPoint      = 15
+	OpExecutionMode   = 16
+	OpCapability      = 17
+	OpTypeVoid        = 19
+	OpTypeInt         = 21
+	OpTypeFloat       = 22
+	OpTypeRuntimeArr  = 29
+	OpTypeStruct      = 30
+	OpTypePointer     = 32
+	OpTypeFunction    = 33
+	OpVariable        = 59
+	OpDecorate        = 71
+	OpMemberDecorate  = 72
+	OpFunction        = 54
+	OpFunctionEnd     = 56
+	OpLabel           = 248
+	OpReturn          = 253
+)
+
+// Enumerants (subset).
+const (
+	CapabilityShader         = 1
+	AddressingModelLogical   = 0
+	MemoryModelGLSL450       = 1
+	ExecutionModelGLCompute  = 5
+	ExecutionModeLocalSize   = 17
+	DecorationBlock          = 2
+	DecorationBinding        = 33
+	DecorationDescriptorSet  = 34
+	DecorationOffset         = 35
+	StorageClassUniform      = 2
+	StorageClassPushConstant = 9
+	StorageClassStorageBuf   = 12
+	SourceLanguageGLSL       = 2
+)
+
+// pushWordsExtension is the OpSourceExtension string carrying the push
+// constant size through the binary.
+const pushWordsExtension = "VCB.push_constant_words="
+
+// Binding describes one storage-buffer interface variable of the kernel.
+type Binding struct {
+	Set     int
+	Binding int
+}
+
+// Module is the decoded view of a compute shader module.
+type Module struct {
+	// EntryPoint is the OpEntryPoint name, which the driver compiler uses to
+	// locate the kernel body.
+	EntryPoint string
+	// LocalSizeX/Y/Z are the OpExecutionMode LocalSize operands.
+	LocalSizeX, LocalSizeY, LocalSizeZ int
+	// Bindings are the storage buffer bindings declared by the module, in
+	// ascending binding order.
+	Bindings []Binding
+	// PushConstantWords is the number of 32-bit push constant words consumed.
+	PushConstantWords int
+	// SourceLanguage records the OpSource language (GLSL for our modules).
+	SourceLanguage string
+	// Bound is the header's ID bound.
+	Bound uint32
+}
+
+// Common decode/validate errors.
+var (
+	ErrTooShort      = errors.New("spirv: module shorter than header")
+	ErrBadMagic      = errors.New("spirv: bad magic number")
+	ErrTruncated     = errors.New("spirv: truncated instruction stream")
+	ErrNoEntryPoint  = errors.New("spirv: module declares no GLCompute entry point")
+	ErrNoLocalSize   = errors.New("spirv: module declares no LocalSize execution mode")
+	ErrBadInstr      = errors.New("spirv: malformed instruction")
+	ErrNotCompute    = errors.New("spirv: entry point is not GLCompute")
+	ErrEmptyEntry    = errors.New("spirv: empty entry point name")
+	ErrBadLocalSize  = errors.New("spirv: LocalSize operands must be positive")
+	ErrDuplicateBind = errors.New("spirv: duplicate binding")
+)
+
+type encoder struct {
+	words []uint32
+	next  uint32
+}
+
+func (e *encoder) id() uint32 {
+	e.next++
+	return e.next
+}
+
+func (e *encoder) instr(op uint32, operands ...uint32) {
+	wc := uint32(len(operands) + 1)
+	e.words = append(e.words, wc<<16|op)
+	e.words = append(e.words, operands...)
+}
+
+// packString encodes a SPIR-V literal string: UTF-8 bytes, little endian, nul
+// terminated, padded to a word boundary.
+func packString(s string) []uint32 {
+	b := append([]byte(s), 0)
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	return out
+}
+
+// unpackString decodes a literal string starting at words[0] and returns the
+// string and the number of words consumed.
+func unpackString(words []uint32) (string, int) {
+	var b []byte
+	for i, w := range words {
+		for shift := 0; shift < 32; shift += 8 {
+			c := byte(w >> uint(shift))
+			if c == 0 {
+				return string(b), i + 1
+			}
+			b = append(b, c)
+		}
+	}
+	return string(b), len(words)
+}
+
+// Encode serialises the module description into a SPIR-V word stream.
+func (m *Module) Encode() ([]uint32, error) {
+	if m.EntryPoint == "" {
+		return nil, ErrEmptyEntry
+	}
+	if m.LocalSizeX <= 0 || m.LocalSizeY <= 0 || m.LocalSizeZ <= 0 {
+		return nil, ErrBadLocalSize
+	}
+	seen := map[int]bool{}
+	for _, b := range m.Bindings {
+		if seen[b.Binding] {
+			return nil, fmt.Errorf("%w: binding %d", ErrDuplicateBind, b.Binding)
+		}
+		seen[b.Binding] = true
+	}
+
+	e := &encoder{}
+
+	// IDs.
+	entryID := e.id()
+	voidType := e.id()
+	fnType := e.id()
+	floatType := e.id()
+	runtimeArr := e.id()
+	structType := e.id()
+	ptrType := e.id()
+	label := e.id()
+	bindingIDs := make([]uint32, len(m.Bindings))
+	for i := range m.Bindings {
+		bindingIDs[i] = e.id()
+	}
+	var pushID uint32
+	if m.PushConstantWords > 0 {
+		pushID = e.id()
+	}
+
+	e.instr(OpCapability, CapabilityShader)
+	e.instr(OpMemoryModel, AddressingModelLogical, MemoryModelGLSL450)
+	entryOperands := []uint32{ExecutionModelGLCompute, entryID}
+	entryOperands = append(entryOperands, packString(m.EntryPoint)...)
+	entryOperands = append(entryOperands, bindingIDs...)
+	e.instr(OpEntryPoint, entryOperands...)
+	e.instr(OpExecutionMode, entryID, ExecutionModeLocalSize,
+		uint32(m.LocalSizeX), uint32(m.LocalSizeY), uint32(m.LocalSizeZ))
+	e.instr(OpSource, SourceLanguageGLSL, 450)
+	if m.PushConstantWords > 0 {
+		e.instr(OpSourceExtension, packString(fmt.Sprintf("%s%d", pushWordsExtension, m.PushConstantWords))...)
+	}
+	nameOps := append([]uint32{entryID}, packString(m.EntryPoint)...)
+	e.instr(OpName, nameOps...)
+
+	for i, b := range m.Bindings {
+		e.instr(OpDecorate, bindingIDs[i], DecorationDescriptorSet, uint32(b.Set))
+		e.instr(OpDecorate, bindingIDs[i], DecorationBinding, uint32(b.Binding))
+		e.instr(OpDecorate, structType, DecorationBlock)
+	}
+	if pushID != 0 {
+		e.instr(OpDecorate, pushID, DecorationBlock)
+	}
+
+	// Minimal type section.
+	e.instr(OpTypeVoid, voidType)
+	e.instr(OpTypeFunction, fnType, voidType)
+	e.instr(OpTypeFloat, floatType, 32)
+	e.instr(OpTypeRuntimeArr, runtimeArr, floatType)
+	e.instr(OpTypeStruct, structType, runtimeArr)
+	e.instr(OpTypePointer, ptrType, StorageClassStorageBuf, structType)
+	for _, id := range bindingIDs {
+		e.instr(OpVariable, ptrType, id, StorageClassStorageBuf)
+	}
+	if pushID != 0 {
+		e.instr(OpVariable, ptrType, pushID, StorageClassPushConstant)
+	}
+
+	// Skeletal function body.
+	e.instr(OpFunction, voidType, entryID, 0, fnType)
+	e.instr(OpLabel, label)
+	e.instr(OpReturn)
+	e.instr(OpFunctionEnd)
+
+	header := []uint32{MagicNumber, Version, GeneratorMagic, e.next + 1, 0}
+	return append(header, e.words...), nil
+}
+
+// Decode parses a SPIR-V word stream into a Module description.
+func Decode(words []uint32) (*Module, error) {
+	if len(words) < 5 {
+		return nil, ErrTooShort
+	}
+	if words[0] != MagicNumber {
+		return nil, ErrBadMagic
+	}
+	m := &Module{Bound: words[3]}
+	decorations := map[uint32]*Binding{}
+	var entryID uint32
+	haveLocalSize := false
+
+	i := 5
+	for i < len(words) {
+		first := words[i]
+		wc := int(first >> 16)
+		op := first & 0xFFFF
+		if wc == 0 || i+wc > len(words) {
+			return nil, fmt.Errorf("%w at word %d (opcode %d, word count %d)", ErrTruncated, i, op, wc)
+		}
+		operands := words[i+1 : i+wc]
+		switch op {
+		case OpEntryPoint:
+			if len(operands) < 3 {
+				return nil, fmt.Errorf("%w: OpEntryPoint", ErrBadInstr)
+			}
+			if operands[0] != ExecutionModelGLCompute {
+				return nil, ErrNotCompute
+			}
+			entryID = operands[1]
+			name, _ := unpackString(operands[2:])
+			m.EntryPoint = name
+		case OpExecutionMode:
+			if len(operands) >= 5 && operands[1] == ExecutionModeLocalSize {
+				if entryID != 0 && operands[0] != entryID {
+					return nil, fmt.Errorf("%w: LocalSize targets unknown entry point", ErrBadInstr)
+				}
+				m.LocalSizeX = int(operands[2])
+				m.LocalSizeY = int(operands[3])
+				m.LocalSizeZ = int(operands[4])
+				haveLocalSize = true
+			}
+		case OpSource:
+			if len(operands) >= 1 && operands[0] == SourceLanguageGLSL {
+				m.SourceLanguage = "GLSL"
+			}
+		case OpSourceExtension:
+			s, _ := unpackString(operands)
+			var n int
+			if _, err := fmt.Sscanf(s, pushWordsExtension+"%d", &n); err == nil {
+				m.PushConstantWords = n
+			}
+		case OpDecorate:
+			if len(operands) >= 3 {
+				target := operands[0]
+				switch operands[1] {
+				case DecorationBinding:
+					d := decorations[target]
+					if d == nil {
+						d = &Binding{}
+						decorations[target] = d
+					}
+					d.Binding = int(operands[2])
+				case DecorationDescriptorSet:
+					d := decorations[target]
+					if d == nil {
+						d = &Binding{}
+						decorations[target] = d
+					}
+					d.Set = int(operands[2])
+				}
+			}
+		}
+		i += wc
+	}
+
+	if m.EntryPoint == "" {
+		return nil, ErrNoEntryPoint
+	}
+	if !haveLocalSize {
+		return nil, ErrNoLocalSize
+	}
+	m.Bindings = collectBindings(decorations)
+	return m, nil
+}
+
+func collectBindings(decorations map[uint32]*Binding) []Binding {
+	out := make([]Binding, 0, len(decorations))
+	for _, d := range decorations {
+		out = append(out, *d)
+	}
+	// Insertion order of maps is random; sort by (set, binding).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Set < a.Set || (b.Set == a.Set && b.Binding < a.Binding) {
+				out[j-1], out[j] = b, a
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that the word stream is a structurally valid compute module.
+func Validate(words []uint32) error {
+	_, err := Decode(words)
+	return err
+}

@@ -1,0 +1,92 @@
+// Package stats provides the small statistical helpers used by the benchmark
+// runner and the experiments: means, geometric means (the paper's summary
+// metric) and speedup computations.
+package stats
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean requires positive values")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MinMax returns the smallest and largest values of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Speedup returns baseline/measured: >1 means measured is faster than the
+// baseline. It returns 0 if measured is non-positive.
+func Speedup(baseline, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(measured)
+}
+
+// MeanDuration returns the arithmetic mean of the durations.
+func MeanDuration(ds []time.Duration) (time.Duration, error) {
+	if len(ds) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - m
+		varSum += d * d
+	}
+	return math.Sqrt(varSum / float64(len(xs))), nil
+}

@@ -1,0 +1,240 @@
+package vulkan
+
+import (
+	"fmt"
+	"time"
+
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/kernels"
+)
+
+// Fence is a host-device synchronisation primitive signalled when a submission
+// completes.
+type Fence struct {
+	device     *Device
+	signalTime time.Duration
+	pending    bool
+}
+
+// CreateFence creates an unsignalled fence.
+func (d *Device) CreateFence() *Fence {
+	d.host.Spend("vkCreateFence", hostCallOverhead)
+	return &Fence{device: d}
+}
+
+// Destroy destroys the fence.
+func (f *Fence) Destroy() { f.device.host.Spend("vkDestroyFence", hostCallOverhead) }
+
+// Wait blocks the host until the fence is signalled.
+func (f *Fence) Wait() error {
+	f.device.host.Spend("vkWaitForFences", hostCallOverhead)
+	if !f.pending {
+		return fmt.Errorf("%w: waiting on a fence that was never submitted", ErrValidation)
+	}
+	f.device.host.WaitUntil(f.signalTime)
+	f.device.host.Spend("sync-latency", f.device.driver.SyncLatency)
+	f.pending = false
+	return nil
+}
+
+// Reset returns the fence to the unsignalled state.
+func (f *Fence) Reset() {
+	f.device.host.Spend("vkResetFences", hostCallOverhead)
+	f.pending = false
+}
+
+// SubmitInfo describes one batch of command buffers.
+type SubmitInfo struct {
+	CommandBuffers []*CommandBuffer
+}
+
+// Queue is a logical device queue the application submits work to.
+type Queue struct {
+	device *Device
+	family int
+	index  int
+	hw     *hw.Queue
+}
+
+// Family returns the queue family index.
+func (q *Queue) Family() int { return q.family }
+
+// Index returns the queue index within the family.
+func (q *Queue) Index() int { return q.index }
+
+// lastSubmitStats captures per-submission bookkeeping used by tests and the
+// report layer.
+type SubmitStats struct {
+	Dispatches     int
+	Barriers       int
+	PipelineBinds  int
+	CopyBytes      int64
+	CompletionTime time.Duration
+	KernelTime     time.Duration
+}
+
+// Submit submits batches of command buffers for execution. Control returns to
+// the application as soon as the submission is enqueued (§III-B); the fence,
+// if provided, signals when the last command completes.
+func (q *Queue) Submit(batches []SubmitInfo, fence *Fence) (SubmitStats, error) {
+	d := q.device
+	d.host.Spend("vkQueueSubmit", d.driver.SubmitOverhead)
+	earliest := d.host.Now()
+
+	var stats SubmitStats
+	for _, batch := range batches {
+		for _, cb := range batch.CommandBuffers {
+			if cb == nil {
+				return stats, fmt.Errorf("%w: nil command buffer in submission", ErrValidation)
+			}
+			if cb.state != CommandBufferExecutable {
+				return stats, fmt.Errorf("%w: submitted command buffer is not in the executable state", ErrValidation)
+			}
+			s, err := q.execute(cb, earliest)
+			if err != nil {
+				return stats, err
+			}
+			stats.Dispatches += s.Dispatches
+			stats.Barriers += s.Barriers
+			stats.PipelineBinds += s.PipelineBinds
+			stats.CopyBytes += s.CopyBytes
+			stats.KernelTime += s.KernelTime
+		}
+	}
+	stats.CompletionTime = q.hw.AvailableAt()
+	if fence != nil {
+		fence.signalTime = stats.CompletionTime
+		fence.pending = true
+	}
+	return stats, nil
+}
+
+// execute replays a command buffer's commands on the hardware queue.
+func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats, error) {
+	d := q.device
+	drv := d.driver
+	var stats SubmitStats
+
+	var boundPipeline *Pipeline
+	var boundSets []*DescriptorSet
+	var pushWords kernels.Words
+	var pendingDeviceTime time.Duration
+
+	for i, c := range cb.commands {
+		switch c.kind {
+		case cmdBindPipeline:
+			boundPipeline = c.pipeline
+			pendingDeviceTime += drv.PipelineBindOverhead
+			stats.PipelineBinds++
+			if c.pipeline.layout != nil && len(pushWords) < c.pipeline.layout.pushBytes/4 {
+				grown := make(kernels.Words, c.pipeline.layout.pushBytes/4)
+				copy(grown, pushWords)
+				pushWords = grown
+			}
+		case cmdBindDescriptorSets:
+			boundSets = c.sets
+			pendingDeviceTime += drv.DescriptorUpdateOverhead
+		case cmdPushConstants:
+			if drv.PushConstantsAsBuffers {
+				// Driver quirk (§V-B1): the constants are demoted to a buffer
+				// binding, costing a descriptor update per command instead.
+				pendingDeviceTime += drv.DescriptorUpdateOverhead
+			} else {
+				pendingDeviceTime += drv.PushConstantOverhead
+			}
+			need := c.pushOffset + len(c.pushWords)
+			if len(pushWords) < need {
+				grown := make(kernels.Words, need)
+				copy(grown, pushWords)
+				pushWords = grown
+			}
+			copy(pushWords[c.pushOffset:], c.pushWords)
+		case cmdPipelineBarrier:
+			pendingDeviceTime += drv.BarrierOverhead
+			stats.Barriers++
+		case cmdDispatch:
+			if boundPipeline == nil {
+				return stats, fmt.Errorf("%w: CmdDispatch at command %d without a bound compute pipeline", ErrValidation, i)
+			}
+			prog := boundPipeline.program
+			buffers, err := gatherBuffers(prog, boundSets)
+			if err != nil {
+				return stats, fmt.Errorf("command %d (%s): %w", i, prog.Name, err)
+			}
+			cfg := kernels.DispatchConfig{
+				Groups:  c.groups,
+				Buffers: buffers,
+				Push:    pushWords,
+			}
+			run, err := q.hw.ExecuteKernel(earliest, hw.APIVulkan, prog, cfg, pendingDeviceTime)
+			if err != nil {
+				return stats, fmt.Errorf("%w: %v", ErrDeviceLost, err)
+			}
+			pendingDeviceTime = 0
+			stats.Dispatches++
+			stats.KernelTime += run.Exec
+		case cmdCopyBuffer:
+			srcWords, err := c.copySrc.words()
+			if err != nil {
+				return stats, err
+			}
+			dstWords, err := c.copyDst.words()
+			if err != nil {
+				return stats, err
+			}
+			copy(dstWords, srcWords[:minInt(len(srcWords), len(dstWords))])
+			q.hw.Occupy("barrier+copy-setup", earliest, pendingDeviceTime)
+			pendingDeviceTime = 0
+			q.hw.ExecuteTransfer(earliest, c.copyBytes)
+			stats.CopyBytes += c.copyBytes
+		case cmdFillBuffer:
+			dstWords, err := c.fillDst.words()
+			if err != nil {
+				return stats, err
+			}
+			for j := range dstWords {
+				dstWords[j] = c.fillValue
+			}
+			q.hw.ExecuteTransfer(earliest, c.fillDst.size)
+		}
+	}
+	if pendingDeviceTime > 0 {
+		q.hw.Occupy("trailing-overhead", earliest, pendingDeviceTime)
+	}
+	return stats, nil
+}
+
+// gatherBuffers resolves the word views for the kernel's bindings from the
+// bound descriptor sets (set 0 only, as used by all VComputeBench kernels).
+func gatherBuffers(prog *kernels.Program, sets []*DescriptorSet) ([]kernels.Words, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("%w: dispatch without bound descriptor sets", ErrValidation)
+	}
+	set := sets[0]
+	buffers := make([]kernels.Words, prog.Bindings)
+	for b := 0; b < prog.Bindings; b++ {
+		buf, ok := set.buffers[b]
+		if !ok {
+			return nil, fmt.Errorf("%w: kernel %q binding %d has no descriptor written", ErrValidation, prog.Name, b)
+		}
+		w, err := buf.words()
+		if err != nil {
+			return nil, err
+		}
+		buffers[b] = w
+	}
+	return buffers, nil
+}
+
+// WaitIdle blocks the host until the queue drains.
+func (q *Queue) WaitIdle() {
+	q.device.host.Spend("vkQueueWaitIdle", hostCallOverhead)
+	q.device.host.WaitUntil(q.hw.AvailableAt())
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

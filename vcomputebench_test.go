@@ -1,0 +1,68 @@
+package vcomputebench_test
+
+import (
+	"testing"
+
+	vcb "vcomputebench"
+)
+
+func TestPublicSuiteExposesPaperContents(t *testing.T) {
+	benchmarks := vcb.Benchmarks()
+	if len(benchmarks) < 11 {
+		t.Fatalf("expected at least 11 benchmarks (9 Rodinia + 2 micro), got %d", len(benchmarks))
+	}
+	if len(vcb.Platforms()) != 4 {
+		t.Fatalf("expected 4 platforms, got %d", len(vcb.Platforms()))
+	}
+	if len(vcb.Experiments()) < 12 {
+		t.Fatalf("expected at least 12 experiments, got %d", len(vcb.Experiments()))
+	}
+	for _, name := range []string{"bfs", "gaussian", "pathfinder", "membandwidth"} {
+		if _, err := vcb.BenchmarkByName(name); err != nil {
+			t.Errorf("benchmark %q not registered: %v", name, err)
+		}
+	}
+	for _, id := range []string{"gtx1050ti", "rx560", "adreno506", "powervr-g6430"} {
+		if _, err := vcb.PlatformByID(id); err != nil {
+			t.Errorf("platform %q missing: %v", id, err)
+		}
+	}
+}
+
+func TestPublicRunnerRunsQuickWorkload(t *testing.T) {
+	p, err := vcb.PlatformByID("gtx1050ti")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vcb.BenchmarkByName("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &vcb.Runner{Repetitions: 2, Seed: 1}
+	res, err := runner.Run(p, b, vcb.Vulkan, vcb.Workload{Label: "t", Params: map[string]int{"n": 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelTime <= 0 || res.TotalTime < res.KernelTime {
+		t.Fatalf("implausible times: kernel=%v total=%v", res.KernelTime, res.TotalTime)
+	}
+}
+
+func TestExperimentTablesRun(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3"} {
+		exp, err := vcb.ExperimentByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc, err := exp.Run(vcb.ExperimentOptions{Repetitions: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(doc.Tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		if doc.Render() == "" {
+			t.Fatalf("%s rendered empty output", id)
+		}
+	}
+}
