@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent suite scheduler (mirrors CI).
+race:
+	$(GO) test -race ./...
+
+# Regenerate every table and figure once.
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+clean:
+	rm -f vcbench
+	rm -rf out

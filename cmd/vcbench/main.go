@@ -7,19 +7,23 @@
 //	vcbench -list                         list experiments, benchmarks and platforms
 //	vcbench -run fig2a                    run one experiment (or "all")
 //	vcbench -run all -format csv -o out/  write every experiment as CSV files
+//	vcbench -run all -warmup 1 -parallel 8  discard a warm-up run, fan the grid across 8 workers
 //	vcbench -bench bfs -platform rx560    run one benchmark across its workloads and APIs
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/experiments"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/platforms"
+	"vcomputebench/internal/report"
 	_ "vcomputebench/internal/rodinia/suite"
 )
 
@@ -29,22 +33,30 @@ func main() {
 		run        = flag.String("run", "", "experiment id to run, or 'all'")
 		benchName  = flag.String("bench", "", "run a single benchmark by name")
 		platformID = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
-		reps       = flag.Int("reps", 1, "repetitions per measurement")
+		reps       = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
+		warmup     = flag.Int("warmup", 0, "warm-up runs per measurement, excluded from statistics")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "suite worker goroutines (1 = serial; output is identical)")
 		seed       = flag.Int64("seed", 42, "input generation seed")
 		format     = flag.String("format", "text", "output format: text, csv or markdown")
 		outDir     = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
 	)
 	flag.Parse()
 
+	opts := experiments.Options{
+		Repetitions: *reps,
+		Warmup:      *warmup,
+		Parallelism: *parallel,
+		Seed:        *seed,
+	}
 	switch {
 	case *list:
 		listAll()
 	case *run != "":
-		if err := runExperiments(*run, experiments.Options{Repetitions: *reps, Seed: *seed}, *format, *outDir); err != nil {
+		if err := runExperiments(*run, opts, *format, *outDir); err != nil {
 			fatal(err)
 		}
 	case *benchName != "":
-		if err := runBenchmark(*benchName, *platformID, *reps, *seed); err != nil {
+		if err := runBenchmark(*benchName, *platformID, opts); err != nil {
 			fatal(err)
 		}
 	default:
@@ -125,7 +137,7 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 	return nil
 }
 
-func runBenchmark(name, platformID string, reps int, seed int64) error {
+func runBenchmark(name, platformID string, opts experiments.Options) error {
 	b, err := core.Get(name)
 	if err != nil {
 		return err
@@ -134,17 +146,25 @@ func runBenchmark(name, platformID string, reps int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	runner := &core.Runner{Repetitions: reps, Seed: seed}
+	runner := opts.Runner()
 	fmt.Printf("%s on %s\n", b.Name(), p.Profile.Name)
-	fmt.Printf("%-10s %-9s %14s %14s %10s\n", "workload", "api", "kernel", "total", "dispatches")
+	fmt.Printf("%-10s %-9s %28s %28s %10s\n", "workload", "api", "kernel", "total", "dispatches")
 	for _, w := range b.Workloads(p.Profile.Class) {
 		for _, api := range hw.AllAPIs() {
 			res, err := runner.Run(p, b, api, w)
 			if err != nil {
-				fmt.Printf("%-10s %-9s skipped: %v\n", w.Label, api, err)
-				continue
+				// Exclusions are expected (Table IV driver quirks); anything
+				// else is a genuine benchmark failure and must not be hidden.
+				var excl *core.ExclusionError
+				if errors.As(err, &excl) {
+					fmt.Printf("%-10s %-9s skipped: %s\n", w.Label, api, excl.Reason)
+					continue
+				}
+				return err
 			}
-			fmt.Printf("%-10s %-9s %14v %14v %10d\n", w.Label, api, res.KernelTime, res.TotalTime, res.Dispatches)
+			fmt.Printf("%-10s %-9s %28s %28s %10d\n", w.Label, api,
+				report.FormatDurationStats(res.KernelStats),
+				report.FormatDurationStats(res.TotalStats), res.Dispatches)
 		}
 	}
 	return nil

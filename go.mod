@@ -1,0 +1,3 @@
+module vcomputebench
+
+go 1.22

@@ -107,11 +107,19 @@ func RandomF32(seed int64, n int, lo, hi float32) []float32 {
 	return out
 }
 
-// RandomI32 returns n pseudo-random int32 values in [lo, hi).
+// RandomI32 returns n pseudo-random int32 values in [lo, hi). A degenerate
+// range (hi <= lo) yields lo for every element instead of the rand.Int63n
+// panic an empty interval would otherwise trigger.
 func RandomI32(seed int64, n int, lo, hi int32) []int32 {
-	rng := rand.New(rand.NewSource(seed))
 	out := make([]int32, n)
 	span := int64(hi) - int64(lo)
+	if span <= 0 {
+		for i := range out {
+			out[i] = lo
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
 	for i := range out {
 		out[i] = lo + int32(rng.Int63n(span))
 	}

@@ -1,0 +1,61 @@
+package bench_test
+
+import (
+	"testing"
+
+	"vcomputebench/internal/bench"
+)
+
+func TestRandomI32DegenerateRange(t *testing.T) {
+	// Regression: hi <= lo used to panic in rand.Int63n with a non-positive
+	// span. The degenerate interval now yields lo for every element.
+	for _, tc := range []struct{ lo, hi int32 }{
+		{5, 5},   // empty interval
+		{5, 3},   // inverted interval
+		{-2, -2}, // empty negative interval
+	} {
+		out := bench.RandomI32(1, 4, tc.lo, tc.hi)
+		if len(out) != 4 {
+			t.Fatalf("RandomI32(lo=%d, hi=%d) length = %d, want 4", tc.lo, tc.hi, len(out))
+		}
+		for i, v := range out {
+			if v != tc.lo {
+				t.Fatalf("RandomI32(lo=%d, hi=%d)[%d] = %d, want lo", tc.lo, tc.hi, i, v)
+			}
+		}
+	}
+}
+
+func TestRandomI32RangeAndDeterminism(t *testing.T) {
+	a := bench.RandomI32(42, 1000, -3, 17)
+	for i, v := range a {
+		if v < -3 || v >= 17 {
+			t.Fatalf("value %d at index %d outside [-3, 17)", v, i)
+		}
+	}
+	b := bench.RandomI32(42, 1000, -3, 17)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different values at index %d", i)
+		}
+	}
+}
+
+func TestRandomF32Range(t *testing.T) {
+	xs := bench.RandomF32(7, 1000, 0.5, 2.5)
+	for i, v := range xs {
+		if v < 0.5 || v >= 2.5 {
+			t.Fatalf("value %v at index %d outside [0.5, 2.5)", v, i)
+		}
+	}
+}
+
+func TestDivUp(t *testing.T) {
+	for _, tc := range []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {7, 0, 0}, {7, -1, 0},
+	} {
+		if got := bench.DivUp(tc.a, tc.b); got != tc.want {
+			t.Fatalf("DivUp(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

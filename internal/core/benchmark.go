@@ -15,6 +15,7 @@ import (
 	"vcomputebench/internal/kernels"
 	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/sim"
+	"vcomputebench/internal/stats"
 )
 
 // Workload is one input configuration of a benchmark, identified by the label
@@ -87,6 +88,11 @@ type Result struct {
 	// Checksum is a digest of the output buffers used for cross-API
 	// validation.
 	Checksum float64
+	// KernelStats and TotalStats summarise the spread of the measured
+	// repetitions (min/max/stddev alongside the mean; warm-up runs are
+	// excluded). KernelTime and TotalTime equal the respective means.
+	KernelStats stats.DurationStats
+	TotalStats  stats.DurationStats
 	// Extra carries benchmark-specific metrics (e.g. achieved bandwidth in
 	// GB/s for the memory microbenchmark).
 	Extra map[string]float64

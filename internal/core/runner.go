@@ -25,11 +25,24 @@ func (e *ExclusionError) Error() string {
 	return fmt.Sprintf("core: %s/%s excluded on %s: %s", e.Benchmark, e.API, e.Platform, e.Reason)
 }
 
+// DefaultRepetitions is the paper's repetition count: "we execute several
+// times and report the average of the obtained execution times".
+const DefaultRepetitions = 3
+
 // Runner executes benchmarks with repetitions and averages the results.
 type Runner struct {
 	// Repetitions is the number of measured runs to average (the paper
-	// executes several times and reports the average; default 3).
+	// executes several times and reports the average; default
+	// DefaultRepetitions).
 	Repetitions int
+	// Warmup is the number of extra runs executed before the measured
+	// repetitions and excluded from all statistics (driver warm-up, JIT
+	// caches). Default 0.
+	Warmup int
+	// Parallelism bounds the worker goroutines RunSuite fans the
+	// (benchmark, workload, API) grid out across: 0 means runtime.NumCPU(),
+	// 1 forces the serial path, higher values cap the pool size.
+	Parallelism int
 	// Seed seeds input generation.
 	Seed int64
 	// Validate forwards the validation request to the benchmarks.
@@ -37,7 +50,7 @@ type Runner struct {
 }
 
 // NewRunner returns a runner with the default repetition count.
-func NewRunner() *Runner { return &Runner{Repetitions: 3, Seed: 42} }
+func NewRunner() *Runner { return &Runner{Repetitions: DefaultRepetitions, Seed: 42} }
 
 // Run executes the benchmark with the given API and workload on a fresh device
 // instance of the platform, repeating and averaging.
@@ -72,10 +85,14 @@ func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload)
 	if reps <= 0 {
 		reps = 1
 	}
+	warmup := r.Warmup
+	if warmup < 0 {
+		warmup = 0
+	}
 
 	var kernelTimes, totalTimes []time.Duration
 	var last *Result
-	for rep := 0; rep < reps; rep++ {
+	for rep := 0; rep < warmup+reps; rep++ {
 		dev, err := p.NewDevice()
 		if err != nil {
 			return nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
@@ -101,20 +118,25 @@ func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload)
 			return nil, fmt.Errorf("core: %s/%s on %s (%s): checksum changed between repetitions (%v vs %v)",
 				b.Name(), api, p.ID, w.Label, last.Checksum, res.Checksum)
 		}
+		last = res
+		if rep < warmup {
+			continue // warm-up runs are validated but never measured
+		}
 		kernelTimes = append(kernelTimes, res.KernelTime)
 		totalTimes = append(totalTimes, res.TotalTime)
-		last = res
 	}
-	meanKernel, err := stats.MeanDuration(kernelTimes)
+	kernelStats, err := stats.SummarizeDurations(kernelTimes)
 	if err != nil {
 		return nil, err
 	}
-	meanTotal, err := stats.MeanDuration(totalTimes)
+	totalStats, err := stats.SummarizeDurations(totalTimes)
 	if err != nil {
 		return nil, err
 	}
-	last.KernelTime = meanKernel
-	last.TotalTime = meanTotal
+	last.KernelTime = kernelStats.Mean
+	last.TotalTime = totalStats.Mean
+	last.KernelStats = kernelStats
+	last.TotalStats = totalStats
 	return last, nil
 }
 
@@ -187,23 +209,24 @@ func (s *SuiteResult) GeoMeanSpeedup(api, baseline hw.API) (float64, error) {
 
 // RunSuite runs the given benchmarks for every workload of the platform's
 // device class and every requested API, collecting results and recording
-// exclusions instead of failing on them.
+// exclusions instead of failing on them. The grid is executed by a worker
+// pool sized by r.Parallelism (see runSuiteTasks); results are merged in grid
+// order, so the output is identical to a serial run.
 func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []hw.API) (*SuiteResult, error) {
+	tasks := enumerateSuite(p, benchmarks, apis)
+	outcomes := r.runSuiteTasks(p, tasks)
 	out := &SuiteResult{Platform: p.ID}
-	for _, b := range benchmarks {
-		for _, w := range b.Workloads(p.Profile.Class) {
-			for _, api := range apis {
-				res, err := r.Run(p, b, api, w)
-				if err != nil {
-					var excl *ExclusionError
-					if errors.As(err, &excl) {
-						out.Skipped = append(out.Skipped, *excl)
-						continue
-					}
-					return nil, err
-				}
-				out.Add(res)
+	for _, o := range outcomes {
+		if o.err != nil {
+			var excl *ExclusionError
+			if errors.As(o.err, &excl) {
+				out.Skipped = append(out.Skipped, *excl)
+				continue
 			}
+			return nil, o.err
+		}
+		if o.res != nil {
+			out.Add(o.res)
 		}
 	}
 	return out, nil

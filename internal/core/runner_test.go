@@ -1,0 +1,270 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+)
+
+// fakeBench is a deterministic in-memory benchmark: run derives the result
+// from the context (API, workload, call ordinal), so tests control timing,
+// checksums and failures without touching the simulator.
+type fakeBench struct {
+	name      string
+	apis      []hw.API
+	workloads []core.Workload
+	calls     atomic.Int64
+	run       func(ctx *core.RunContext, call int64) (*core.Result, error)
+}
+
+func (f *fakeBench) Name() string                       { return f.name }
+func (f *fakeBench) Dwarf() string                      { return "Dense Linear Algebra" }
+func (f *fakeBench) Domain() string                     { return "Testing" }
+func (f *fakeBench) Description() string                { return "fake benchmark for runner tests" }
+func (f *fakeBench) Workloads(hw.Class) []core.Workload { return f.workloads }
+func (f *fakeBench) APIs() []hw.API                     { return f.apis }
+func (f *fakeBench) Run(ctx *core.RunContext) (*core.Result, error) {
+	return f.run(ctx, f.calls.Add(1)-1)
+}
+
+func testWorkloads(labels ...string) []core.Workload {
+	ws := make([]core.Workload, len(labels))
+	for i, l := range labels {
+		ws[i] = core.Workload{Label: l, Params: map[string]int{"n": (i + 1) * 1000}}
+	}
+	return ws
+}
+
+// constantResult returns a run function with fixed timing and checksum.
+func constantResult(kernel, total time.Duration) func(*core.RunContext, int64) (*core.Result, error) {
+	return func(*core.RunContext, int64) (*core.Result, error) {
+		return &core.Result{KernelTime: kernel, TotalTime: total, Dispatches: 1, Checksum: 7}, nil
+	}
+}
+
+func TestNewRunnerUsesDefaultRepetitions(t *testing.T) {
+	if got := core.NewRunner().Repetitions; got != core.DefaultRepetitions {
+		t.Fatalf("NewRunner().Repetitions = %d, want DefaultRepetitions (%d)", got, core.DefaultRepetitions)
+	}
+}
+
+func TestRunExclusionMissingAPIImplementation(t *testing.T) {
+	p := platforms.GTX1050Ti()
+	b := &fakeBench{
+		name:      "fake",
+		apis:      []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"),
+		run:       constantResult(time.Millisecond, 2*time.Millisecond),
+	}
+	_, err := core.NewRunner().Run(p, b, hw.APIOpenCL, b.workloads[0])
+	var excl *core.ExclusionError
+	if !errors.As(err, &excl) {
+		t.Fatalf("expected ExclusionError, got %v", err)
+	}
+	if excl.Benchmark != "fake" || excl.API != hw.APIOpenCL || excl.Platform != p.ID {
+		t.Fatalf("exclusion misattributed: %+v", excl)
+	}
+}
+
+func TestRunExclusionPlatformQuirk(t *testing.T) {
+	base := platforms.GTX1050Ti()
+	p := &platforms.Platform{
+		ID:      base.ID,
+		Profile: base.Profile,
+		Quirks:  []platforms.Quirk{{Benchmark: "fake", API: hw.APIVulkan, Reason: "driver bug"}},
+	}
+	b := &fakeBench{
+		name:      "fake",
+		apis:      []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"),
+		run:       constantResult(time.Millisecond, 2*time.Millisecond),
+	}
+	_, err := core.NewRunner().Run(p, b, hw.APIVulkan, b.workloads[0])
+	var excl *core.ExclusionError
+	if !errors.As(err, &excl) {
+		t.Fatalf("expected ExclusionError for platform quirk, got %v", err)
+	}
+	if excl.Reason != "driver bug" {
+		t.Fatalf("exclusion reason = %q, want %q", excl.Reason, "driver bug")
+	}
+}
+
+func TestRunDetectsChecksumMismatch(t *testing.T) {
+	b := &fakeBench{
+		name:      "fake",
+		apis:      []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"),
+		run: func(_ *core.RunContext, call int64) (*core.Result, error) {
+			return &core.Result{KernelTime: time.Millisecond, TotalTime: time.Millisecond, Checksum: float64(call)}, nil
+		},
+	}
+	r := &core.Runner{Repetitions: 2, Seed: 1}
+	_, err := r.Run(platforms.GTX1050Ti(), b, hw.APIVulkan, b.workloads[0])
+	if err == nil || !strings.Contains(err.Error(), "checksum changed") {
+		t.Fatalf("expected checksum-mismatch error, got %v", err)
+	}
+}
+
+// coldStart times the first run of a benchmark instance slower than the rest,
+// mimicking a JIT / driver cache warm-up.
+func coldStart(cold, warm time.Duration) func(*core.RunContext, int64) (*core.Result, error) {
+	return func(_ *core.RunContext, call int64) (*core.Result, error) {
+		d := warm
+		if call == 0 {
+			d = cold
+		}
+		return &core.Result{KernelTime: d, TotalTime: 2 * d, Checksum: 7}, nil
+	}
+}
+
+func TestRunWarmupExcludedFromStatistics(t *testing.T) {
+	p := platforms.GTX1050Ti()
+	cold, warm := 100*time.Millisecond, 10*time.Millisecond
+
+	noWarm := &fakeBench{name: "fake", apis: []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"), run: coldStart(cold, warm)}
+	res, err := (&core.Runner{Repetitions: 3, Seed: 1}).Run(p, noWarm, hw.APIVulkan, noWarm.workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (cold + 2*warm) / 3; res.KernelTime != want {
+		t.Fatalf("without warm-up: KernelTime = %v, want %v", res.KernelTime, want)
+	}
+	if res.KernelStats.Max != cold {
+		t.Fatalf("without warm-up: Max = %v, want the cold run %v", res.KernelStats.Max, cold)
+	}
+
+	warmed := &fakeBench{name: "fake", apis: []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"), run: coldStart(cold, warm)}
+	res, err = (&core.Runner{Repetitions: 2, Warmup: 1, Seed: 1}).Run(p, warmed, hw.APIVulkan, warmed.workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KernelTime != warm {
+		t.Fatalf("with warm-up: KernelTime = %v, want %v", res.KernelTime, warm)
+	}
+	if res.KernelStats.N != 2 || res.KernelStats.Max != warm || res.KernelStats.StdDev != 0 {
+		t.Fatalf("with warm-up: stats = %+v, want 2 identical warm samples", res.KernelStats)
+	}
+	if calls := warmed.calls.Load(); calls != 3 {
+		t.Fatalf("with warm-up: %d runs executed, want 3 (1 warm-up + 2 measured)", calls)
+	}
+}
+
+func TestRunCapturesVariance(t *testing.T) {
+	times := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	b := &fakeBench{
+		name:      "fake",
+		apis:      []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0"),
+		run: func(_ *core.RunContext, call int64) (*core.Result, error) {
+			d := times[call%int64(len(times))]
+			return &core.Result{KernelTime: d, TotalTime: 2 * d, Checksum: 7}, nil
+		},
+	}
+	res, err := (&core.Runner{Repetitions: 3, Seed: 1}).Run(platforms.GTX1050Ti(), b, hw.APIVulkan, b.workloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := res.KernelStats
+	if ks.Mean != 20*time.Millisecond || ks.Min != times[0] || ks.Max != times[2] || ks.N != 3 {
+		t.Fatalf("kernel stats = %+v", ks)
+	}
+	// Population stddev of {10,20,30}ms is sqrt(200/3) ms ~= 8.165ms.
+	if wantSD := 8164965 * time.Nanosecond; ks.StdDev < wantSD-time.Microsecond || ks.StdDev > wantSD+time.Microsecond {
+		t.Fatalf("kernel stddev = %v, want ~%v", ks.StdDev, wantSD)
+	}
+	if res.KernelTime != ks.Mean || res.TotalTime != res.TotalStats.Mean {
+		t.Fatalf("mean fields disagree with stats: %+v", res)
+	}
+	if rsd := ks.RelStdDev(); rsd < 0.40 || rsd > 0.42 {
+		t.Fatalf("RelStdDev = %v, want ~0.408", rsd)
+	}
+}
+
+// gridBench derives timing purely from (API, workload), so results are
+// identical no matter which worker runs the task or in what order.
+func gridBench(name string, apis []hw.API, workloads []core.Workload) *fakeBench {
+	b := &fakeBench{name: name, apis: apis, workloads: workloads}
+	b.run = func(ctx *core.RunContext, _ int64) (*core.Result, error) {
+		n := ctx.Workload.Param("n", 1)
+		base := time.Duration(n) * time.Microsecond
+		if ctx.API == hw.APIVulkan {
+			base /= 2
+		}
+		return &core.Result{KernelTime: base, TotalTime: 3 * base, Dispatches: n / 1000, Checksum: float64(n)}, nil
+	}
+	return b
+}
+
+func TestRunSuiteSerialParallelEquivalence(t *testing.T) {
+	apis := []hw.API{hw.APIOpenCL, hw.APIVulkan, hw.APICUDA}
+	makeBenches := func() []core.Benchmark {
+		return []core.Benchmark{
+			gridBench("alpha", apis, testWorkloads("s", "m", "l")),
+			gridBench("beta", []hw.API{hw.APIVulkan}, testWorkloads("s", "m")), // OpenCL/CUDA excluded
+			gridBench("gamma", apis, testWorkloads("s")),
+		}
+	}
+	p := platforms.GTX1050Ti()
+
+	serialRunner := &core.Runner{Repetitions: 2, Parallelism: 1, Seed: 1}
+	serial, err := serialRunner.RunSuite(p, makeBenches(), apis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelRunner := &core.Runner{Repetitions: 2, Parallelism: 8, Seed: 1}
+	parallel, err := parallelRunner.RunSuite(p, makeBenches(), apis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Results, parallel.Results) {
+		t.Errorf("parallel results differ from serial:\nserial:   %+v\nparallel: %+v", serial.Results, parallel.Results)
+	}
+	if !reflect.DeepEqual(serial.Skipped, parallel.Skipped) {
+		t.Errorf("parallel exclusions differ from serial:\nserial:   %+v\nparallel: %+v", serial.Skipped, parallel.Skipped)
+	}
+	if len(serial.Skipped) != 4 { // beta has 2 workloads x 2 missing APIs
+		t.Errorf("expected 4 exclusions, got %d: %+v", len(serial.Skipped), serial.Skipped)
+	}
+	// Default parallelism (0 = NumCPU) must agree as well.
+	defaultRunner := &core.Runner{Repetitions: 2, Seed: 1}
+	byDefault, err := defaultRunner.RunSuite(p, makeBenches(), apis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Results, byDefault.Results) {
+		t.Errorf("default-parallelism results differ from serial")
+	}
+}
+
+func TestRunSuiteReturnsHardErrors(t *testing.T) {
+	boom := fmt.Errorf("device melted")
+	bad := &fakeBench{
+		name:      "bad",
+		apis:      []hw.API{hw.APIVulkan},
+		workloads: testWorkloads("w0", "w1"),
+		run: func(ctx *core.RunContext, _ int64) (*core.Result, error) {
+			if ctx.Workload.Label == "w1" {
+				return nil, boom
+			}
+			return &core.Result{KernelTime: time.Millisecond, TotalTime: time.Millisecond, Checksum: 1}, nil
+		},
+	}
+	for _, par := range []int{1, 8} {
+		r := &core.Runner{Repetitions: 1, Parallelism: par, Seed: 1}
+		_, err := r.RunSuite(platforms.GTX1050Ti(), []core.Benchmark{bad}, []hw.API{hw.APIVulkan})
+		if err == nil || !errors.Is(err, boom) {
+			t.Errorf("parallelism %d: expected hard error to surface, got %v", par, err)
+		}
+	}
+}

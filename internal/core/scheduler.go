@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+)
+
+// suiteTask is one cell of the (benchmark, workload, API) grid RunSuite
+// walks. idx is the cell's position in grid order; outcomes are merged by it
+// so the suite result is deterministic regardless of completion order.
+type suiteTask struct {
+	idx      int
+	bench    Benchmark
+	workload Workload
+	api      hw.API
+}
+
+// suiteOutcome is the result of one suite task. Exactly one of res/err is set
+// for executed tasks; both are nil for tasks the serial path never reached
+// after an earlier hard error.
+type suiteOutcome struct {
+	res *Result
+	err error
+}
+
+// enumerateSuite flattens the benchmark × workload × API grid in the order
+// the serial runner used, which is also the order results are merged in.
+func enumerateSuite(p *platforms.Platform, benchmarks []Benchmark, apis []hw.API) []suiteTask {
+	var tasks []suiteTask
+	for _, b := range benchmarks {
+		for _, w := range b.Workloads(p.Profile.Class) {
+			for _, api := range apis {
+				tasks = append(tasks, suiteTask{idx: len(tasks), bench: b, workload: w, api: api})
+			}
+		}
+	}
+	return tasks
+}
+
+// workers resolves the effective worker-pool size: Parallelism if positive,
+// runtime.NumCPU() when unset (0), and 1 for any negative value.
+func (r *Runner) workers() int {
+	switch {
+	case r.Parallelism > 0:
+		return r.Parallelism
+	case r.Parallelism == 0:
+		return runtime.NumCPU()
+	default:
+		return 1
+	}
+}
+
+// runSuiteTasks executes every task and returns the outcomes indexed in grid
+// order. Each repetition creates a fresh simulated device and shares no
+// mutable state with its siblings, so tasks fan out across a worker pool;
+// with one worker the tasks run inline. Both paths stop launching new cells
+// after the first hard error (in-flight parallel cells still finish),
+// matching the historical serial behaviour of failing fast.
+func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suiteOutcome {
+	outcomes := make([]suiteOutcome, len(tasks))
+	workers := r.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			res, err := r.Run(p, t.bench, t.api, t.workload)
+			outcomes[t.idx] = suiteOutcome{res: res, err: err}
+			var excl *ExclusionError
+			if err != nil && !errors.As(err, &excl) {
+				break
+			}
+		}
+		return outcomes
+	}
+
+	ch := make(chan suiteTask)
+	var wg sync.WaitGroup
+	var aborted atomic.Bool // set on the first hard error so workers stop picking up new cells
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if aborted.Load() {
+					continue // drain; unexecuted cells stay zero and the merge skips them
+				}
+				res, err := r.Run(p, t.bench, t.api, t.workload)
+				outcomes[t.idx] = suiteOutcome{res: res, err: err}
+				var excl *ExclusionError
+				if err != nil && !errors.As(err, &excl) {
+					aborted.Store(true)
+				}
+			}
+		}()
+	}
+	for _, t := range tasks {
+		ch <- t
+	}
+	close(ch)
+	wg.Wait()
+	return outcomes
+}

@@ -137,7 +137,7 @@ func runAblationPush(opts Options) (*report.Document, error) {
 	drv.PushConstantsAsBuffers = false
 	fixed.Profile.Drivers[hw.APIVulkan] = drv
 
-	runner := opts.runner()
+	runner := opts.Runner()
 	t := &report.Table{
 		Title:   "Push constants demoted to buffer binds (Adreno 506, Vulkan strided bandwidth)",
 		Columns: []string{"Stride", "Stock driver GB/s", "Push constants honoured GB/s"},

@@ -20,6 +20,13 @@ import (
 type Options struct {
 	// Repetitions per measurement (the paper averages several runs).
 	Repetitions int
+	// Warmup runs per measurement, executed first and excluded from the
+	// reported statistics.
+	Warmup int
+	// Parallelism bounds the suite scheduler's worker pool: 0 means
+	// runtime.NumCPU(), 1 forces serial execution. Output is identical
+	// either way.
+	Parallelism int
 	// Seed for input generation.
 	Seed int64
 }
@@ -35,8 +42,15 @@ func (o Options) defaults() Options {
 	return o
 }
 
-func (o Options) runner() *core.Runner {
-	return &core.Runner{Repetitions: o.Repetitions, Seed: o.Seed}
+// Runner builds the core runner these options describe. It is the single
+// Options -> Runner translation, shared with cmd/vcbench.
+func (o Options) Runner() *core.Runner {
+	return &core.Runner{
+		Repetitions: o.Repetitions,
+		Warmup:      o.Warmup,
+		Parallelism: o.Parallelism,
+		Seed:        o.Seed,
+	}
 }
 
 // Experiment is one reproducible artefact of the paper.
@@ -163,21 +177,66 @@ func figBandwidth(platformID string, apis []hw.API) func(Options) (*report.Docum
 		series := report.NewSeries(
 			fmt.Sprintf("Memory bandwidth vs stride on %s", p.Profile.Name),
 			"stride (4-byte elements)", "GB/s", x)
-		runner := opts.runner()
-		for _, api := range apis {
-			for i, w := range workloads {
-				res, err := runner.Run(p, b, api, w)
-				if err != nil {
-					return nil, err
-				}
-				series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
-			}
+		runner := opts.Runner()
+		suiteRes, err := runner.RunSuite(p, []core.Benchmark{b}, apis)
+		if err != nil {
+			return nil, err
 		}
 		doc := &report.Document{ID: "bandwidth-" + platformID, Title: series.Title, Series: []*report.Series{series}}
+		for _, api := range apis {
+			var apiResults []*core.Result
+			for i, w := range workloads {
+				res, ok := suiteRes.Lookup(b.Name(), w.Label, api)
+				if !ok {
+					return nil, missingResultError(suiteRes, b.Name(), w.Label, api)
+				}
+				series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
+				apiResults = append(apiResults, res)
+			}
+			if note, ok := spreadNote(api, apiResults); ok {
+				doc.Notes = append(doc.Notes, note)
+			}
+		}
 		doc.Notes = append(doc.Notes,
 			fmt.Sprintf("theoretical peak bandwidth: %.1f GB/s", p.Profile.PeakBandwidthGBps))
 		return doc, nil
 	}
+}
+
+// missingResultError surfaces the exclusion that explains an absent suite
+// cell, falling back to a generic error when no exclusion matches.
+func missingResultError(s *core.SuiteResult, bench, workload string, api hw.API) error {
+	for i := range s.Skipped {
+		if s.Skipped[i].Benchmark == bench && s.Skipped[i].API == api {
+			e := s.Skipped[i]
+			return &e
+		}
+	}
+	return fmt.Errorf("experiments: missing result for %s/%s (%s)", bench, api, workload)
+}
+
+// spreadNote reports the worst kernel-time coefficient of variation an API
+// showed across the given results, making repetition noise visible in every
+// output format. It is omitted for single-repetition runs and when every
+// repetition agreed exactly (the deterministic-simulator case), where there
+// is no spread to report.
+func spreadNote(api hw.API, results []*core.Result) (string, bool) {
+	worst, n := 0.0, 0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.KernelStats.N > n {
+			n = r.KernelStats.N
+		}
+		if rsd := r.KernelStats.RelStdDev(); rsd > worst {
+			worst = rsd
+		}
+	}
+	if n <= 1 || worst == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("kernel-time spread %s: max %.1f%% rel. stddev over %d reps", api, worst*100, n), true
 }
 
 // figSpeedups builds the Rodinia speedup experiment for one platform. The
@@ -194,7 +253,7 @@ func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Docume
 			return nil, err
 		}
 		ordered := orderBenchmarks(benchmarks)
-		runner := opts.runner()
+		runner := opts.Runner()
 		suiteRes, err := runner.RunSuite(p, ordered, apis)
 		if err != nil {
 			return nil, err
@@ -213,17 +272,23 @@ func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Docume
 		series := report.NewSeries(
 			fmt.Sprintf("Speedup vs %s on %s (kernel times)", baseline.String(), p.Profile.Name),
 			"benchmark/workload", "speedup", x)
+		doc := &report.Document{ID: "speedups-" + platformID, Title: series.Title, Series: []*report.Series{series}}
 		for _, api := range apis {
+			var apiResults []*core.Result
 			for i, c := range cells {
 				if sp, ok := suiteRes.Speedup(c.bench, c.workload, api, baseline); ok {
 					series.Set(api.String(), i, sp)
 				} else {
 					series.Set(api.String(), i, 0)
 				}
+				if res, ok := suiteRes.Lookup(c.bench, c.workload, api); ok {
+					apiResults = append(apiResults, res)
+				}
+			}
+			if note, ok := spreadNote(api, apiResults); ok {
+				doc.Notes = append(doc.Notes, note)
 			}
 		}
-
-		doc := &report.Document{ID: "speedups-" + platformID, Title: series.Title, Series: []*report.Series{series}}
 		for _, api := range apis[1:] {
 			if g, err := suiteRes.GeoMeanSpeedup(api, baseline); err == nil {
 				doc.Notes = append(doc.Notes, fmt.Sprintf("geomean speedup %s vs %s: %.2fx", api, baseline, g))
@@ -251,7 +316,7 @@ func orderBenchmarks(bs []core.Benchmark) []core.Benchmark {
 // and §VII.
 func runSummary(opts Options) (*report.Document, error) {
 	opts = opts.defaults()
-	runner := opts.runner()
+	runner := opts.Runner()
 	benchmarks, err := suite.Rodinia()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,82 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/experiments"
+)
+
+// renderAll runs one experiment and returns its text and CSV renderings.
+func renderAll(t *testing.T, id string, opts experiments.Options) (text, csv string) {
+	t.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := e.Run(opts)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return doc.Render(), doc.CSV()
+}
+
+// TestSerialParallelOutputIdentical is the acceptance check for the suite
+// scheduler: fanning the grid out across workers must leave the rendered
+// text and CSV byte-identical to the serial run.
+func TestSerialParallelOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments; skipped with -short")
+	}
+	for _, tc := range []struct {
+		id   string
+		opts experiments.Options
+	}{
+		{"fig3a", experiments.Options{Repetitions: 2, Seed: 42}},
+		{"fig4b", experiments.Options{Repetitions: 1, Seed: 42}},
+	} {
+		serial := tc.opts
+		serial.Parallelism = 1
+		parallel := tc.opts
+		parallel.Parallelism = 4
+
+		serialText, serialCSV := renderAll(t, tc.id, serial)
+		parallelText, parallelCSV := renderAll(t, tc.id, parallel)
+		if serialText != parallelText {
+			t.Errorf("%s: parallel text output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				tc.id, serialText, parallelText)
+		}
+		if serialCSV != parallelCSV {
+			t.Errorf("%s: parallel CSV output differs from serial", tc.id)
+		}
+	}
+}
+
+// TestNoSpreadNoteForDeterministicRuns: the simulator is deterministic, so
+// repeated runs agree exactly and the spread note must stay suppressed (it
+// only appears when real measurement noise exists; see spread_test.go for
+// that path).
+func TestNoSpreadNoteForDeterministicRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments; skipped with -short")
+	}
+	for _, reps := range []int{1, 2} {
+		text, _ := renderAll(t, "fig3a", experiments.Options{Repetitions: reps, Seed: 42})
+		if strings.Contains(text, "kernel-time spread") {
+			t.Errorf("deterministic %d-rep run must not emit a spread note, got:\n%s", reps, text)
+		}
+	}
+}
+
+// TestWarmupDoesNotChangeDeterministicOutput: the simulator is deterministic,
+// so a warm-up run must be dropped from the statistics without altering them.
+func TestWarmupDoesNotChangeDeterministicOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments; skipped with -short")
+	}
+	base, _ := renderAll(t, "fig3a", experiments.Options{Repetitions: 1, Seed: 42})
+	warmed, _ := renderAll(t, "fig3a", experiments.Options{Repetitions: 1, Warmup: 1, Seed: 42})
+	if base != warmed {
+		t.Errorf("warm-up changed deterministic output:\n--- base ---\n%s\n--- warmed ---\n%s", base, warmed)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/stats"
+)
+
+func statsResult(mean, sd time.Duration, n int) *core.Result {
+	return &core.Result{
+		KernelStats: stats.DurationStats{Mean: mean, Min: mean - sd, Max: mean + sd, StdDev: sd, N: n},
+	}
+}
+
+func TestSpreadNote(t *testing.T) {
+	// Real spread: reported with the worst relative stddev.
+	note, ok := spreadNote(hw.APIVulkan, []*core.Result{
+		statsResult(100*time.Millisecond, 2*time.Millisecond, 3),
+		statsResult(10*time.Millisecond, time.Millisecond, 3), // 10% — the worst
+	})
+	if !ok {
+		t.Fatal("expected a spread note for noisy repetitions")
+	}
+	if !strings.Contains(note, "Vulkan") || !strings.Contains(note, "10.0%") || !strings.Contains(note, "3 reps") {
+		t.Errorf("note = %q, want worst spread 10.0%% over 3 reps", note)
+	}
+
+	// Exact agreement between repetitions: no note.
+	if note, ok := spreadNote(hw.APIVulkan, []*core.Result{statsResult(time.Millisecond, 0, 3)}); ok {
+		t.Errorf("zero spread must be suppressed, got %q", note)
+	}
+	// Single repetition: no note.
+	if note, ok := spreadNote(hw.APIVulkan, []*core.Result{statsResult(time.Millisecond, 0, 1)}); ok {
+		t.Errorf("single repetition must be suppressed, got %q", note)
+	}
+	// Nil results tolerated.
+	if _, ok := spreadNote(hw.APIVulkan, []*core.Result{nil}); ok {
+		t.Error("nil-only results must not produce a note")
+	}
+}

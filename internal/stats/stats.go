@@ -90,3 +90,53 @@ func StdDev(xs []float64) (float64, error) {
 	}
 	return math.Sqrt(varSum / float64(len(xs))), nil
 }
+
+// DurationStats summarises repeated duration measurements of one quantity:
+// the mean the paper reports, plus the spread needed to judge whether the
+// repetition count was sufficient.
+type DurationStats struct {
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	StdDev time.Duration
+	// N is the number of measured samples (warm-up runs excluded).
+	N int
+}
+
+// SummarizeDurations computes mean, min, max and population standard
+// deviation over the samples. The mean uses the same truncating integer
+// division as MeanDuration, so existing averaged results are unchanged.
+func SummarizeDurations(ds []time.Duration) (DurationStats, error) {
+	mean, err := MeanDuration(ds)
+	if err != nil {
+		return DurationStats{}, err
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	min, max, err := MinMax(xs)
+	if err != nil {
+		return DurationStats{}, err
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return DurationStats{}, err
+	}
+	return DurationStats{
+		Mean:   mean,
+		Min:    time.Duration(min),
+		Max:    time.Duration(max),
+		StdDev: time.Duration(math.Round(sd)),
+		N:      len(ds),
+	}, nil
+}
+
+// RelStdDev returns the coefficient of variation (stddev/mean), or 0 when the
+// mean is not positive.
+func (s DurationStats) RelStdDev() float64 {
+	if s.Mean <= 0 {
+		return 0
+	}
+	return float64(s.StdDev) / float64(s.Mean)
+}
