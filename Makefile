@@ -1,6 +1,8 @@
 GO ?= go
+# bash for pipefail in the bench recipe (dash has no pipefail).
+SHELL := /bin/bash
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race bench bench-tables clean
 
 all: build vet test
 
@@ -17,8 +19,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Regenerate every table and figure once.
+# Dispatch-engine perf tracking: run the kernels.Execute microbenchmarks and
+# fold the numbers into BENCH_dispatch.json (ns/op, B/op, allocs/op). The
+# file's "baseline" section is the pre-optimisation reference and is preserved
+# across runs; "current" is overwritten every time.
 bench:
+	set -o pipefail; $(GO) test -run '^$$' -bench '^BenchmarkExecute' -benchmem ./internal/kernels \
+		| $(GO) run ./cmd/benchjson -update BENCH_dispatch.json
+
+# Regenerate every table and figure once.
+bench-tables:
 	$(GO) test -bench . -benchtime 1x ./...
 
 clean:

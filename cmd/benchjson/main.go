@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a tracked JSON perf baseline. It is the backend of `make bench`:
+//
+//	go test -run '^$' -bench '^BenchmarkExecute' -benchmem ./internal/kernels \
+//	    | go run ./cmd/benchjson -update BENCH_dispatch.json
+//
+// The file keeps two snapshots per benchmark: "baseline", written the first
+// time a benchmark appears and preserved on later updates (the pre-optimisation
+// reference), and "current", overwritten on every run. Comparing the two shows
+// the dispatch engine's perf trajectory (ns/op, B/op, allocs/op) over PRs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// File is the on-disk schema of BENCH_dispatch.json.
+type File struct {
+	// Note documents the file for readers stumbling over it in the tree.
+	Note string `json:"note"`
+	// Baseline holds the first recorded numbers per benchmark and is never
+	// overwritten by -update (delete the file to re-baseline).
+	Baseline map[string]Entry `json:"baseline"`
+	// Current holds the numbers of the latest `make bench` run.
+	Current map[string]Entry `json:"current"`
+}
+
+const note = "Dispatch-engine perf baseline; regenerate `current` with `make bench`. " +
+	"`baseline` is the pre-optimisation reference and is preserved across updates."
+
+func main() {
+	update := flag.String("update", "BENCH_dispatch.json", "JSON file to create or update")
+	flag.Parse()
+
+	entries, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(entries) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines on stdin"))
+	}
+
+	f := &File{Note: note, Baseline: map[string]Entry{}, Current: map[string]Entry{}}
+	if raw, err := os.ReadFile(*update); err == nil {
+		if err := json.Unmarshal(raw, f); err != nil {
+			fatal(fmt.Errorf("parsing existing %s: %w", *update, err))
+		}
+		f.Note = note
+		if f.Baseline == nil {
+			f.Baseline = map[string]Entry{}
+		}
+	}
+	f.Current = entries
+	for name, e := range entries {
+		if _, ok := f.Baseline[name]; !ok {
+			f.Baseline[name] = e
+		}
+	}
+
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*update, append(out, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	for _, name := range sortedNames(entries) {
+		cur, base := f.Current[name], f.Baseline[name]
+		fmt.Printf("%-36s %12.0f ns/op %10.0f B/op %8.0f allocs/op (baseline %8.0f allocs/op)\n",
+			name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp, base.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", *update)
+}
+
+// parseBench extracts benchmark lines of the form
+//
+//	BenchmarkName-8  100  12345 ns/op  678 B/op  9 allocs/op
+//
+// from go test output. The -GOMAXPROCS suffix is stripped so results from
+// different machines land on the same key.
+func parseBench(src *os.File) (map[string]Entry, error) {
+	entries := map[string]Entry{}
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		var e Entry
+		seen := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp, seen = v, true
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		if seen {
+			entries[name] = e
+		}
+	}
+	return entries, sc.Err()
+}
+
+func sortedNames(m map[string]Entry) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ func main() {
 		reps       = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
 		warmup     = flag.Int("warmup", 0, "warm-up runs per measurement, excluded from statistics")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "suite worker goroutines (1 = serial; output is identical)")
+		dispatchN  = flag.Int("dispatch-parallel", 0, "worker goroutines per simulated dispatch (0 = budget cores across the suite pool; output is identical)")
 		seed       = flag.Int64("seed", 42, "input generation seed")
 		format     = flag.String("format", "text", "output format: text, csv or markdown")
 		outDir     = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
@@ -43,10 +44,11 @@ func main() {
 	flag.Parse()
 
 	opts := experiments.Options{
-		Repetitions: *reps,
-		Warmup:      *warmup,
-		Parallelism: *parallel,
-		Seed:        *seed,
+		Repetitions:         *reps,
+		Warmup:              *warmup,
+		Parallelism:         *parallel,
+		DispatchParallelism: *dispatchN,
+		Seed:                *seed,
 	}
 	switch {
 	case *list:

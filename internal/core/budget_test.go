@@ -1,0 +1,37 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDispatchBudget pins the core-budgeting rule between the suite pool and
+// the per-dispatch worker pools.
+func TestDispatchBudget(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	half := ncpu / 2
+	if half < 1 {
+		half = 1
+	}
+	cases := []struct {
+		name     string
+		explicit int
+		workers  int
+		want     int
+	}{
+		{name: "explicit override wins", explicit: 3, workers: 8, want: 3},
+		{name: "explicit override wins serially", explicit: 5, workers: 1, want: 5},
+		{name: "serial suite gets the whole machine", explicit: 0, workers: 1, want: 0},
+		{name: "two cells split the cores", explicit: 0, workers: 2, want: half},
+		{name: "oversubscribed pool floors at one", explicit: 0, workers: 4 * ncpu, want: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := &Runner{DispatchParallelism: tc.explicit}
+			if got := r.dispatchBudget(tc.workers); got != tc.want {
+				t.Fatalf("dispatchBudget(workers=%d, explicit=%d) = %d, want %d",
+					tc.workers, tc.explicit, got, tc.want)
+			}
+		})
+	}
+}

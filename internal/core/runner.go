@@ -43,6 +43,13 @@ type Runner struct {
 	// (benchmark, workload, API) grid out across: 0 means runtime.NumCPU(),
 	// 1 forces the serial path, higher values cap the pool size.
 	Parallelism int
+	// DispatchParallelism caps the worker goroutines each simulated dispatch
+	// fans out across (kernels.DispatchConfig.Parallelism). 0 derives a core
+	// budget: standalone Run calls use the whole machine, while RunSuite
+	// divides runtime.NumCPU() by its own pool size so concurrent cells and
+	// their dispatch pools do not oversubscribe the host. Dispatch counters —
+	// and therefore all results — are identical for any value.
+	DispatchParallelism int
 	// Seed seeds input generation.
 	Seed int64
 	// Validate forwards the validation request to the benchmarks.
@@ -55,6 +62,12 @@ func NewRunner() *Runner { return &Runner{Repetitions: DefaultRepetitions, Seed:
 // Run executes the benchmark with the given API and workload on a fresh device
 // instance of the platform, repeating and averaging.
 func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload) (*Result, error) {
+	return r.run(p, b, api, w, r.DispatchParallelism)
+}
+
+// run is Run with an explicit per-dispatch core budget (0 = whole machine);
+// RunSuite passes the budget it computed for its pool size.
+func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload, dispatchParallel int) (*Result, error) {
 	if p == nil || b == nil {
 		return nil, fmt.Errorf("core: Run with nil platform or benchmark")
 	}
@@ -97,6 +110,7 @@ func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload)
 		if err != nil {
 			return nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
 		}
+		dev.SetDispatchParallelism(dispatchParallel)
 		ctx := &RunContext{
 			Host:     sim.NewHost(),
 			Device:   dev,

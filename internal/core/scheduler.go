@@ -55,6 +55,26 @@ func (r *Runner) workers() int {
 	}
 }
 
+// dispatchBudget is the core-budgeting rule between the suite scheduler and
+// the per-dispatch worker pools: with an explicit DispatchParallelism that
+// wins; otherwise a parallel suite divides the machine between its cells
+// (runtime.NumCPU() / pool size, at least 1) and a serial suite leaves each
+// dispatch the whole machine (0 = GOMAXPROCS). Dispatch counters are
+// identical for any budget, so this only shapes scheduling, never results.
+func (r *Runner) dispatchBudget(workers int) int {
+	if r.DispatchParallelism > 0 {
+		return r.DispatchParallelism
+	}
+	if workers <= 1 {
+		return 0
+	}
+	budget := runtime.NumCPU() / workers
+	if budget < 1 {
+		budget = 1
+	}
+	return budget
+}
+
 // runSuiteTasks executes every task and returns the outcomes indexed in grid
 // order. Each repetition creates a fresh simulated device and shares no
 // mutable state with its siblings, so tasks fan out across a worker pool;
@@ -67,9 +87,10 @@ func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suite
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	dispatchParallel := r.dispatchBudget(workers)
 	if workers <= 1 {
 		for _, t := range tasks {
-			res, err := r.Run(p, t.bench, t.api, t.workload)
+			res, err := r.run(p, t.bench, t.api, t.workload, dispatchParallel)
 			outcomes[t.idx] = suiteOutcome{res: res, err: err}
 			var excl *ExclusionError
 			if err != nil && !errors.As(err, &excl) {
@@ -90,7 +111,7 @@ func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suite
 				if aborted.Load() {
 					continue // drain; unexecuted cells stay zero and the merge skips them
 				}
-				res, err := r.Run(p, t.bench, t.api, t.workload)
+				res, err := r.run(p, t.bench, t.api, t.workload, dispatchParallel)
 				outcomes[t.idx] = suiteOutcome{res: res, err: err}
 				var excl *ExclusionError
 				if err != nil && !errors.As(err, &excl) {

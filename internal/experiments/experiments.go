@@ -27,6 +27,10 @@ type Options struct {
 	// runtime.NumCPU(), 1 forces serial execution. Output is identical
 	// either way.
 	Parallelism int
+	// DispatchParallelism caps each simulated dispatch's worker goroutines.
+	// 0 applies the core-budgeting rule (suite pool and dispatch pools share
+	// runtime.NumCPU()); output is identical for any value.
+	DispatchParallelism int
 	// Seed for input generation.
 	Seed int64
 }
@@ -46,10 +50,11 @@ func (o Options) defaults() Options {
 // Options -> Runner translation, shared with cmd/vcbench.
 func (o Options) Runner() *core.Runner {
 	return &core.Runner{
-		Repetitions: o.Repetitions,
-		Warmup:      o.Warmup,
-		Parallelism: o.Parallelism,
-		Seed:        o.Seed,
+		Repetitions:         o.Repetitions,
+		Warmup:              o.Warmup,
+		Parallelism:         o.Parallelism,
+		DispatchParallelism: o.DispatchParallelism,
+		Seed:                o.Seed,
 	}
 }
 

@@ -15,6 +15,11 @@ type Device struct {
 	mem      *MemorySystem
 	timeline sim.Timeline
 	queues   map[QueueKind][]*Queue
+	// dispatchParallelism caps the host worker goroutines each functional
+	// dispatch fans out across (0 = GOMAXPROCS). The suite runner sets it to
+	// its per-cell core budget so concurrent benchmark cells do not
+	// oversubscribe the machine; counters are identical for any value.
+	dispatchParallelism int
 }
 
 // NewDevice constructs a simulated device from a profile. The device exposes
@@ -53,6 +58,18 @@ func (d *Device) addQueue(kind QueueKind) *Queue {
 
 // Profile returns the device's hardware profile.
 func (d *Device) Profile() *Profile { return &d.profile }
+
+// SetDispatchParallelism sets the per-dispatch worker budget forwarded to
+// kernels.DispatchConfig.Parallelism (0 restores the GOMAXPROCS default).
+func (d *Device) SetDispatchParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	d.dispatchParallelism = n
+}
+
+// DispatchParallelism returns the per-dispatch worker budget (0 = GOMAXPROCS).
+func (d *Device) DispatchParallelism() int { return d.dispatchParallelism }
 
 // Memory returns the device's memory system.
 func (d *Device) Memory() *MemorySystem { return d.mem }
@@ -141,6 +158,12 @@ func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Pro
 	}
 	if cfg.CacheLineBytes == 0 {
 		cfg.CacheLineBytes = q.dev.profile.CacheLineBytes
+	}
+	if cfg.Parallelism == 0 {
+		// Apply the suite runner's per-cell core budget (like the WarpSize /
+		// CacheLineBytes profile defaults, every API front end funnels
+		// through here).
+		cfg.Parallelism = q.dev.dispatchParallelism
 	}
 	counters, err := kernels.Execute(prog, cfg)
 	if err != nil {

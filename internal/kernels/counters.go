@@ -83,11 +83,18 @@ func (c *Counters) Add(other *Counters) {
 	c.SampledTransactionBytes += other.SampledTransactionBytes
 }
 
-// Scale multiplies the extensive counters by f (used when only a sample of
-// workgroups was executed). Coalescing sample statistics are not scaled since
-// the efficiency is a ratio.
+// Scale multiplies the extensive counters by f. The sampling contract: when
+// the dispatch engine executes only every stride-th workgroup, it scales the
+// accumulated counters by totalGroups/executedGroups (≥ 1) to extrapolate to
+// the full grid; factors in (0, 1) are equally valid for down-scaling (e.g.
+// averaging repeated dispatches). Non-positive factors are invalid input and
+// are ignored rather than zeroing or negating the counters. Intensive
+// quantities are never scaled: the coalescing sample statistics feed a ratio,
+// and SharedBytesPerGroup is a per-workgroup maximum.
 func (c *Counters) Scale(f float64) {
 	if f <= 0 || f == 1 {
+		// f == 1 is the exact-execution fast path; f <= 0 is rejected so a
+		// buggy caller cannot silently erase the dispatch's work.
 		return
 	}
 	c.Invocations *= f

@@ -12,6 +12,13 @@ import (
 // Programs that set Exact are never sampled.
 const DefaultMaxExactInvocations = 1 << 19
 
+// maxSampledWorkgroups bounds how many executed workgroups feed the
+// coalescing recorder per dispatch. Sampled workgroups are selected evenly
+// from the executed-group sequence as a function of the grid alone, so the
+// sample set — and therefore every counter — is identical for any
+// Parallelism.
+const maxSampledWorkgroups = 8
+
 // DispatchConfig describes one dispatch of a program: its grid dimensions,
 // bound resources and the architectural parameters needed by the coalescing
 // model.
@@ -31,6 +38,10 @@ type DispatchConfig struct {
 	// MaxExactInvocations overrides DefaultMaxExactInvocations when positive.
 	MaxExactInvocations int
 	// Parallelism limits the number of worker goroutines (0 = GOMAXPROCS).
+	// The resulting Counters are bit-identical for any value: workgroup
+	// sampling is a deterministic function of the grid, and every counter is
+	// an exactly-representable integer, so the merge order cannot change the
+	// totals.
 	Parallelism int
 }
 
@@ -41,7 +52,6 @@ type Dispatch struct {
 	local   Dim3
 
 	counters Counters
-	ctrMu    sync.Mutex
 	atomicMu sync.Mutex
 }
 
@@ -88,6 +98,15 @@ func Execute(p *Program, cfg DispatchConfig) (*Counters, error) {
 	executedGroups := (totalGroups + stride - 1) / stride
 	scale := float64(totalGroups) / float64(executedGroups)
 
+	// Coalescing samples are recorded on every sampleEvery-th executed
+	// workgroup. The step depends only on the executed-group count, never on
+	// the worker partition, so the sample — and the Counters — are identical
+	// for any Parallelism.
+	sampleEvery := (executedGroups + maxSampledWorkgroups - 1) / maxSampledWorkgroups
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
 	workers := cfg.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -99,6 +118,11 @@ func Execute(p *Program, cfg DispatchConfig) (*Counters, error) {
 		workers = 1
 	}
 
+	// Each worker accumulates into its own Counters; the partials are merged
+	// in worker order after the pool drains. All counter values are integers
+	// (exactly representable in float64), so the split points cannot change
+	// the merged totals.
+	partials := make([]Counters, workers)
 	var wgWait sync.WaitGroup
 	groupsPerWorker := (executedGroups + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -111,27 +135,24 @@ func Execute(p *Program, cfg DispatchConfig) (*Counters, error) {
 			continue
 		}
 		wgWait.Add(1)
-		go func(start, end int) {
+		go func(w, start, end int) {
 			defer wgWait.Done()
-			var local Counters
-			wg := &Workgroup{disp: d}
+			wg := getWorkgroup(d)
+			defer putWorkgroup(wg)
 			for e := start; e < end; e++ {
 				groupIndex := e * stride
-				wg.reset(groupIndex, unlinearIndex(groupIndex, cfg.Groups))
-				// Record coalescing samples on the first executed workgroup of
-				// each worker's range to keep sampling cheap yet representative.
-				wg.recording = e == start || e == end-1
-				wg.ctr.Workgroups++
+				wg.beginGroup(groupIndex, unlinearIndex(groupIndex, cfg.Groups), e%sampleEvery == 0)
 				p.Fn(wg)
-				wg.finishRecording()
-				local.Add(&wg.ctr)
+				wg.endGroup()
 			}
-			d.ctrMu.Lock()
-			d.counters.Add(&local)
-			d.ctrMu.Unlock()
-		}(start, end)
+			wg.ctr.Workgroups += float64(end - start)
+			partials[w] = wg.ctr
+		}(w, start, end)
 	}
 	wgWait.Wait()
+	for w := range partials {
+		d.counters.Add(&partials[w])
+	}
 
 	d.counters.Scale(scale)
 	d.counters.SampleScale = scale
@@ -148,34 +169,167 @@ func Execute(p *Program, cfg DispatchConfig) (*Counters, error) {
 	return &out, nil
 }
 
-// accessGroup collects the cache lines touched by one (warp, access-ordinal)
-// pair on a sampled workgroup.
-type accessGroup struct {
+// recSlot collects the cache lines touched by one (warp, access-ordinal) pair
+// on a sampled workgroup. A warp of W invocations touches at most W distinct
+// lines per access, so the line set is a small slice deduplicated by linear
+// scan instead of a map.
+type recSlot struct {
 	count int
-	lines map[uint64]struct{}
+	lines []uint64
+}
+
+// recorder is the allocation-free coalescing recorder: a flat slot per
+// (warp, access ordinal), grown on first use and recycled — counts zeroed,
+// line buffers truncated in place — between sampled workgroups.
+type recorder struct {
+	slots [][]recSlot // indexed [warp][ordinal]
+}
+
+func (r *recorder) ensureWarps(n int) {
+	if n > len(r.slots) {
+		grown := make([][]recSlot, n)
+		copy(grown, r.slots)
+		r.slots = grown
+	}
+}
+
+func (r *recorder) record(warp, ordinal int, line uint64) {
+	ws := r.slots[warp]
+	for ordinal >= len(ws) {
+		ws = append(ws, recSlot{})
+		r.slots[warp] = ws
+	}
+	s := &ws[ordinal]
+	s.count++
+	for _, l := range s.lines {
+		if l == line {
+			return
+		}
+	}
+	s.lines = append(s.lines, line)
+}
+
+// flush folds the recorded sample into ctr and resets every slot for reuse,
+// keeping all allocated capacity.
+func (r *recorder) flush(ctr *Counters, lineBytes float64) {
+	var accesses, lines int64
+	for _, ws := range r.slots {
+		for i := range ws {
+			s := &ws[i]
+			if s.count == 0 {
+				continue
+			}
+			accesses += int64(s.count)
+			lines += int64(len(s.lines))
+			s.count = 0
+			s.lines = s.lines[:0]
+		}
+	}
+	ctr.SampledUsefulBytes += float64(accesses) * 4
+	ctr.SampledTransactionBytes += float64(lines) * lineBytes
+}
+
+// workgroupPool recycles Workgroup contexts — including their coalescing
+// recorders and shared-memory scratch — across dispatches, so steady-state
+// execution allocates nothing per sampled workgroup.
+var workgroupPool = sync.Pool{New: func() any { return new(Workgroup) }}
+
+// getWorkgroup checks a Workgroup out of the pool and binds it to the
+// dispatch. Accumulators are already zero (endGroup flushes them) and pooled
+// recorder/scratch buffers are reset on reuse, so only the counters and the
+// invocation back-pointer need refreshing.
+func getWorkgroup(d *Dispatch) *Workgroup {
+	wg := workgroupPool.Get().(*Workgroup)
+	wg.disp = d
+	wg.ctr = Counters{}
+	wg.inv = Invocation{wg: wg}
+	return wg
+}
+
+func putWorkgroup(wg *Workgroup) {
+	wg.disp = nil
+	workgroupPool.Put(wg)
 }
 
 // Workgroup is the execution context of one workgroup. It is reused across
-// workgroups by the dispatch engine; kernel bodies must not retain it.
+// workgroups by the dispatch engine; kernel bodies must not retain it (nor
+// anything obtained from it, such as shared-memory arrays).
 type Workgroup struct {
 	disp       *Dispatch
 	id         Dim3
 	groupIndex int
 	ctr        Counters
 	recording  bool
-	accesses   map[uint64]*accessGroup
+	rec        *recorder
 	inv        Invocation
 	sharedUsed int
+
+	// Per-access counter updates are batched into integer accumulators and
+	// flushed into ctr once per ForEach pass, keeping the load/store hot path
+	// to an integer increment.
+	accInv    int64
+	accLoads  int64
+	accStores int64
+	accALU    int64
+	accLocal  int64
+
+	// Pooled shared-memory scratch, recycled (zeroed, not reallocated)
+	// between workgroups.
+	sharedF32 scratch[float32]
+	sharedI32 scratch[int32]
 }
 
-func (wg *Workgroup) reset(groupIndex int, id Dim3) {
+// beginGroup points the reused Workgroup at its next workgroup of the range.
+func (wg *Workgroup) beginGroup(groupIndex int, id Dim3, recording bool) {
 	wg.groupIndex = groupIndex
 	wg.id = id
-	wg.ctr = Counters{}
-	wg.recording = false
-	wg.accesses = nil
+	wg.recording = recording
 	wg.sharedUsed = 0
-	wg.inv = Invocation{wg: wg}
+	wg.sharedF32.reset()
+	wg.sharedI32.reset()
+	if recording {
+		if wg.rec == nil {
+			wg.rec = &recorder{}
+		}
+		warps := (wg.disp.local.Count() + wg.disp.cfg.WarpSize - 1) / wg.disp.cfg.WarpSize
+		wg.rec.ensureWarps(warps)
+	}
+}
+
+// endGroup flushes the batched accumulators and the coalescing sample of the
+// finished workgroup into the counters.
+func (wg *Workgroup) endGroup() {
+	wg.flushAccums()
+	if wg.recording {
+		wg.rec.flush(&wg.ctr, float64(wg.disp.cfg.CacheLineBytes))
+	}
+}
+
+// flushAccums folds the integer accumulators into the float64 counters.
+func (wg *Workgroup) flushAccums() {
+	c := &wg.ctr
+	if wg.accInv != 0 {
+		c.Invocations += float64(wg.accInv)
+		wg.accInv = 0
+	}
+	if wg.accLoads != 0 {
+		c.GlobalLoads += float64(wg.accLoads)
+		c.GlobalLoadBytes += float64(wg.accLoads * 4)
+		wg.accLoads = 0
+	}
+	if wg.accStores != 0 {
+		c.GlobalStores += float64(wg.accStores)
+		c.GlobalStoreBytes += float64(wg.accStores * 4)
+		wg.accStores = 0
+	}
+	if wg.accALU != 0 {
+		c.ALUOps += float64(wg.accALU)
+		wg.accALU = 0
+	}
+	if wg.accLocal != 0 {
+		c.LocalOps += float64(wg.accLocal)
+		wg.accLocal = 0
+	}
 }
 
 // ID returns the 3-D workgroup index (WorkgroupId in SPIR-V).
@@ -207,17 +361,46 @@ func (wg *Workgroup) PushI32(i int) int32 { return int32(wg.disp.cfg.Push[i]) }
 // PushF32 reads push-constant word i as a float.
 func (wg *Workgroup) PushF32(i int) float32 { return math.Float32frombits(wg.disp.cfg.Push[i]) }
 
-// SharedF32 allocates a workgroup-local float array of n elements. The
-// allocation counts toward the workgroup's shared-memory footprint.
-func (wg *Workgroup) SharedF32(n int) []float32 {
-	wg.noteShared(n * 4)
-	return make([]float32, n)
+// scratch is a pool of workgroup-local arrays: buffers are handed out in call
+// order, kept across workgroups, and zeroed — not reallocated — on reuse.
+type scratch[T float32 | int32] struct {
+	bufs [][]T
+	next int
 }
 
-// SharedI32 allocates a workgroup-local int array of n elements.
+func (s *scratch[T]) take(n int) []T {
+	if s.next < len(s.bufs) && cap(s.bufs[s.next]) >= n {
+		buf := s.bufs[s.next][:n]
+		s.next++
+		clear(buf)
+		return buf
+	}
+	buf := make([]T, n)
+	if s.next < len(s.bufs) {
+		s.bufs[s.next] = buf
+	} else {
+		s.bufs = append(s.bufs, buf)
+	}
+	s.next++
+	return buf
+}
+
+func (s *scratch[T]) reset() { s.next = 0 }
+
+// SharedF32 allocates a workgroup-local float array of n elements, zeroed as
+// if freshly allocated. The allocation counts toward the workgroup's
+// shared-memory footprint. The backing array is recycled between workgroups
+// and must not be retained past the kernel body.
+func (wg *Workgroup) SharedF32(n int) []float32 {
+	wg.noteShared(n * 4)
+	return wg.sharedF32.take(n)
+}
+
+// SharedI32 allocates a workgroup-local int array of n elements, with the
+// same recycling contract as SharedF32.
 func (wg *Workgroup) SharedI32(n int) []int32 {
 	wg.noteShared(n * 4)
-	return make([]int32, n)
+	return wg.sharedI32.take(n)
 }
 
 func (wg *Workgroup) noteShared(bytes int) {
@@ -228,7 +411,7 @@ func (wg *Workgroup) noteShared(bytes int) {
 }
 
 // LocalOp accounts for n accesses to workgroup-local (shared) memory.
-func (wg *Workgroup) LocalOp(n int) { wg.ctr.LocalOps += float64(n) }
+func (wg *Workgroup) LocalOp(n int) { wg.accLocal += int64(n) }
 
 // Barrier marks a workgroup-wide execution and memory barrier. Synchronisation
 // semantics are already provided by the phase structure (each ForEach pass
@@ -252,18 +435,18 @@ func (wg *Workgroup) ForEach(fn func(inv *Invocation)) {
 					Z: wg.id.Z*local.Z + z,
 				}
 				inv.ordinal = 0
-				wg.ctr.Invocations++
 				fn(inv)
 			}
 		}
 	}
+	wg.accInv += int64(local.Count())
+	wg.flushAccums()
 }
 
 // noteLoad records one 4-byte global load by inv at element index idx of the
 // given binding.
 func (wg *Workgroup) noteLoad(inv *Invocation, binding, idx int) {
-	wg.ctr.GlobalLoads++
-	wg.ctr.GlobalLoadBytes += 4
+	wg.accLoads++
 	if wg.recording {
 		wg.recordAccess(inv, binding, idx)
 	}
@@ -272,8 +455,7 @@ func (wg *Workgroup) noteLoad(inv *Invocation, binding, idx int) {
 
 // noteStore records one 4-byte global store.
 func (wg *Workgroup) noteStore(inv *Invocation, binding, idx int) {
-	wg.ctr.GlobalStores++
-	wg.ctr.GlobalStoreBytes += 4
+	wg.accStores++
 	if wg.recording {
 		wg.recordAccess(inv, binding, idx)
 	}
@@ -281,32 +463,10 @@ func (wg *Workgroup) noteStore(inv *Invocation, binding, idx int) {
 }
 
 func (wg *Workgroup) recordAccess(inv *Invocation, binding, idx int) {
-	if wg.accesses == nil {
-		wg.accesses = make(map[uint64]*accessGroup)
-	}
 	warp := inv.localIndex / wg.disp.cfg.WarpSize
-	key := uint64(warp)<<32 | uint64(uint32(inv.ordinal))
-	grp, ok := wg.accesses[key]
-	if !ok {
-		grp = &accessGroup{lines: make(map[uint64]struct{})}
-		wg.accesses[key] = grp
-	}
-	grp.count++
 	byteAddr := uint64(idx) * 4
 	line := uint64(binding)<<40 | byteAddr/uint64(wg.disp.cfg.CacheLineBytes)
-	grp.lines[line] = struct{}{}
-}
-
-func (wg *Workgroup) finishRecording() {
-	if wg.accesses == nil {
-		return
-	}
-	lineBytes := float64(wg.disp.cfg.CacheLineBytes)
-	for _, grp := range wg.accesses {
-		wg.ctr.SampledUsefulBytes += float64(grp.count) * 4
-		wg.ctr.SampledTransactionBytes += float64(len(grp.lines)) * lineBytes
-	}
-	wg.accesses = nil
+	wg.rec.record(warp, inv.ordinal, line)
 }
 
 // Invocation identifies a single work-item within a workgroup. The same
@@ -341,4 +501,4 @@ func (inv *Invocation) LocalX() int { return inv.local.X }
 func (inv *Invocation) LocalY() int { return inv.local.Y }
 
 // ALU accounts for n arithmetic operations performed by the invocation.
-func (inv *Invocation) ALU(n int) { inv.wg.ctr.ALUOps += float64(n) }
+func (inv *Invocation) ALU(n int) { inv.wg.accALU += int64(n) }

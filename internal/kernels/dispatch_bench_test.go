@@ -1,0 +1,141 @@
+package kernels_test
+
+// Microbenchmarks for the dispatch engine's measurement hot path
+// (kernels.Execute) over representative kernels: the vectoradd
+// microbenchmark (both a sampled large dispatch and an exact small one),
+// the bfs frontier-expansion kernel (exact, irregular accesses) and the
+// lud internal kernel (2-D grid, shared-memory tile model).
+//
+// `make bench` runs these with -benchmem and folds the numbers into
+// BENCH_dispatch.json (ns/op, B/op, allocs/op) next to the pre-optimisation
+// baseline, so dispatch-engine perf regressions are visible in review.
+
+import (
+	"testing"
+
+	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/micro"
+	_ "vcomputebench/internal/rodinia/bfs"
+	_ "vcomputebench/internal/rodinia/lud"
+)
+
+// benchParallelism pins the dispatch worker count so allocs/op and ns/op are
+// comparable across machines and across the suite-scheduler core budget.
+const benchParallelism = 4
+
+func mustLookup(b *testing.B, name string) *kernels.Program {
+	b.Helper()
+	p, err := kernels.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func runExecute(b *testing.B, p *kernels.Program, cfg kernels.DispatchConfig, reset func()) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if reset != nil {
+			reset()
+		}
+		if _, err := kernels.Execute(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func vectorAddConfig(groups int) (kernels.DispatchConfig, func()) {
+	n := groups * 256
+	x := make(kernels.Words, n)
+	y := make(kernels.Words, n)
+	z := make(kernels.Words, n)
+	for i := range x {
+		x[i] = uint32(i)
+		y[i] = uint32(n - i)
+	}
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.D1(groups),
+		Buffers:     []kernels.Words{x, y, z},
+		Push:        kernels.Words{uint32(n)},
+		Parallelism: benchParallelism,
+	}
+	return cfg, nil
+}
+
+// BenchmarkExecuteVectorAddSampled dispatches 2M invocations, four times the
+// exact-execution cap, so workgroup sampling and the coalescing recorder are
+// both on the measured path.
+func BenchmarkExecuteVectorAddSampled(b *testing.B) {
+	p := mustLookup(b, micro.KernelVectorAdd)
+	cfg, reset := vectorAddConfig(8192)
+	runExecute(b, p, cfg, reset)
+}
+
+// BenchmarkExecuteVectorAddExact stays under the sampling threshold: every
+// workgroup runs functionally.
+func BenchmarkExecuteVectorAddExact(b *testing.B) {
+	p := mustLookup(b, micro.KernelVectorAdd)
+	cfg, reset := vectorAddConfig(512)
+	runExecute(b, p, cfg, reset)
+}
+
+// BenchmarkExecuteBFSKernel1 runs the frontier-expansion kernel over a 64K
+// node graph with every node in the frontier. The kernel is Exact (never
+// sampled) and mutates the masks, so they are restored every iteration.
+func BenchmarkExecuteBFSKernel1(b *testing.B) {
+	p := mustLookup(b, "bfs_kernel1")
+	const n = 64 << 10
+	const degree = 6
+	nodes := make(kernels.Words, 2*n)
+	edges := make(kernels.Words, n*degree)
+	maskInit := make(kernels.Words, n)
+	for i := 0; i < n; i++ {
+		nodes[2*i] = uint32(i * degree)
+		nodes[2*i+1] = degree
+		maskInit[i] = 1
+		for d := 0; d < degree; d++ {
+			edges[i*degree+d] = uint32((i*7 + d*31) % n)
+		}
+	}
+	mask := make(kernels.Words, n)
+	updating := make(kernels.Words, n)
+	visited := make(kernels.Words, n)
+	cost := make(kernels.Words, n)
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.D1((n + 255) / 256),
+		Buffers:     []kernels.Words{nodes, edges, mask, updating, visited, cost},
+		Push:        kernels.Words{uint32(n)},
+		Parallelism: benchParallelism,
+	}
+	reset := func() {
+		copy(mask, maskInit)
+		for i := range updating {
+			updating[i] = 0
+			visited[i] = 0
+			cost[i] = 0
+		}
+	}
+	runExecute(b, p, cfg, reset)
+}
+
+// BenchmarkExecuteLUDInternal runs one trailing-update step of the blocked LU
+// factorisation on a 128x128 matrix (7x7 workgroups of 16x16 invocations).
+func BenchmarkExecuteLUDInternal(b *testing.B) {
+	p := mustLookup(b, "lud_internal")
+	const n = 128
+	matInit := make(kernels.Words, n*n)
+	for i := range matInit {
+		matInit[i] = kernels.F32ToWords([]float32{float32(i%17) + 1})[0]
+	}
+	mat := make(kernels.Words, n*n)
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.Dim3{X: 7, Y: 7, Z: 1},
+		Buffers:     []kernels.Words{mat},
+		Push:        kernels.Words{uint32(n), 0},
+		Parallelism: benchParallelism,
+	}
+	reset := func() { copy(mat, matInit) }
+	runExecute(b, p, cfg, reset)
+}

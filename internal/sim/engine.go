@@ -6,6 +6,13 @@ import (
 	"time"
 )
 
+// DebugNegativeDurations makes Engine.Schedule panic when asked to schedule
+// work of negative duration instead of silently clamping it to zero. A
+// negative duration always means a timing-model bug (internal/hw produced
+// "work" that takes less than no time); tests and debug runs set this to make
+// such bugs loud. It must be toggled before any engine runs work.
+var DebugNegativeDurations = false
+
 // Engine models a single in-order execution engine (a device queue, a DMA
 // engine, ...). Work scheduled on an engine starts no earlier than the engine
 // becomes free and no earlier than the requested earliest start time, and runs
@@ -15,6 +22,7 @@ type Engine struct {
 	name        string
 	availableAt time.Duration
 	timeline    *Timeline
+	negClamped  int
 }
 
 // NewEngine creates an engine with the given name. The timeline may be nil if
@@ -34,9 +42,18 @@ func (e *Engine) AvailableAt() time.Duration {
 }
 
 // Schedule places a unit of work of length d on the engine, starting no
-// earlier than earliest. It returns the start and completion times.
+// earlier than earliest. It returns the start and completion times. A
+// negative duration is a timing-model bug: it is clamped to zero and counted
+// (NegativeClamps), or panics under DebugNegativeDurations, so broken models
+// cannot hide as free work.
 func (e *Engine) Schedule(name string, earliest, d time.Duration) (start, end time.Duration) {
 	if d < 0 {
+		if DebugNegativeDurations {
+			panic(fmt.Sprintf("sim: engine %q asked to schedule %q for negative duration %v", e.name, name, d))
+		}
+		e.mu.Lock()
+		e.negClamped++
+		e.mu.Unlock()
 		d = 0
 	}
 	e.mu.Lock()
@@ -53,11 +70,21 @@ func (e *Engine) Schedule(name string, earliest, d time.Duration) (start, end ti
 	return start, end
 }
 
-// Reset clears the engine's occupancy. Only tests should use this.
+// NegativeClamps reports how many scheduled durations were negative and got
+// clamped to zero — a nonzero value flags a timing-model bug upstream.
+func (e *Engine) NegativeClamps() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.negClamped
+}
+
+// Reset clears the engine's occupancy and its negative-duration count. Only
+// tests should use this.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.availableAt = 0
+	e.negClamped = 0
 }
 
 // Host models the CPU side of the platform: a virtual clock the benchmarks
