@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race bench bench-tables clean
+.PHONY: all build vet test race bench bench-tables results check clean
 
 all: build vet test
 
@@ -30,6 +30,15 @@ bench:
 # Regenerate every table and figure once.
 bench-tables:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# Write every experiment as versioned JSON under out/ (the CI artifact).
+results:
+	$(GO) run ./cmd/vcbench -run all -format json -o out -reps 1
+
+# Compare every experiment against the paper's published values within the
+# documented tolerances (internal/expected). Mirrors TestPaperFidelity.
+check:
+	$(GO) run ./cmd/vcbench -check all -reps 1
 
 clean:
 	rm -f vcbench

@@ -3,8 +3,48 @@ package vcomputebench_test
 import (
 	"testing"
 
+	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
 )
+
+// TestPaperFidelity runs every experiment with recorded expectations and
+// compares the measured headline metrics against the paper's published
+// values within the documented per-metric tolerances, and the excluded cells
+// against Table IV. It is the test-suite twin of `vcbench -check all`: any
+// change that drifts the simulator away from the published results fails
+// tier-1 CI with the offending deltas.
+func TestPaperFidelity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments; skipped with -short")
+	}
+	opts := experiments.Options{Repetitions: 1, Seed: 42}
+	for _, e := range experiments.All() {
+		if !expected.HasExpectations(e.ID) {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			doc, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			checks := expected.CompareDocument(e.ID, doc)
+			if len(checks) == 0 {
+				t.Fatalf("%s: expectations recorded but no checks produced", e.ID)
+			}
+			for _, c := range checks {
+				if c.Pass {
+					continue
+				}
+				msg := c.String()
+				if c.Note != "" {
+					msg += "\n    note: " + c.Note
+				}
+				t.Error(msg)
+			}
+		})
+	}
+}
 
 // benchExperiment runs one paper experiment per benchmark iteration, so
 // `go test -bench` regenerates every table and figure. Run with

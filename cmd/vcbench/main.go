@@ -1,13 +1,16 @@
 // Command vcbench is the VComputeBench harness: it lists and runs the
-// experiments that reproduce every table and figure of the paper, and can run
-// individual benchmarks on individual simulated platforms.
+// experiments that reproduce every table and figure of the paper, checks the
+// results against the published numbers, and can run individual benchmarks on
+// individual simulated platforms.
 //
 // Usage:
 //
 //	vcbench -list                         list experiments, benchmarks and platforms
 //	vcbench -run fig2a                    run one experiment (or "all")
-//	vcbench -run all -format csv -o out/  write every experiment as CSV files
+//	vcbench -run all -format json -o out/ write every experiment as versioned JSON
 //	vcbench -run all -warmup 1 -parallel 8  discard a warm-up run, fan the grid across 8 workers
+//	vcbench -check all                    compare results against the paper's published values
+//	vcbench -check all -baseline out/     additionally diff against a previous JSON run
 //	vcbench -bench bfs -platform rx560    run one benchmark across its workloads and APIs
 package main
 
@@ -20,6 +23,7 @@ import (
 	"runtime"
 
 	"vcomputebench/internal/core"
+	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/platforms"
@@ -29,17 +33,20 @@ import (
 
 func main() {
 	var (
-		list       = flag.Bool("list", false, "list experiments, benchmarks and platforms")
-		run        = flag.String("run", "", "experiment id to run, or 'all'")
-		benchName  = flag.String("bench", "", "run a single benchmark by name")
-		platformID = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
-		reps       = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
-		warmup     = flag.Int("warmup", 0, "warm-up runs per measurement, excluded from statistics")
-		parallel   = flag.Int("parallel", runtime.NumCPU(), "suite worker goroutines (1 = serial; output is identical)")
-		dispatchN  = flag.Int("dispatch-parallel", 0, "worker goroutines per simulated dispatch (0 = budget cores across the suite pool; output is identical)")
-		seed       = flag.Int64("seed", 42, "input generation seed")
-		format     = flag.String("format", "text", "output format: text, csv or markdown")
-		outDir     = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
+		list        = flag.Bool("list", false, "list experiments, benchmarks and platforms")
+		run         = flag.String("run", "", "experiment id to run, or 'all'")
+		check       = flag.String("check", "", "experiment id to check against the paper's published values, or 'all'")
+		baseline    = flag.String("baseline", "", "baseline results JSON (a file from -format json, or a directory of <id>.json files) to diff against; used with -check")
+		baselineTol = flag.Float64("baseline-tol", 0, "relative tolerance for -baseline diffs (0 = exact; the simulator is deterministic)")
+		benchName   = flag.String("bench", "", "run a single benchmark by name")
+		platformID  = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
+		reps        = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
+		warmup      = flag.Int("warmup", 0, "warm-up runs per measurement, excluded from statistics")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "suite worker goroutines (1 = serial; output is identical)")
+		dispatchN   = flag.Int("dispatch-parallel", 0, "worker goroutines per simulated dispatch (0 = budget cores across the suite pool; output is identical)")
+		seed        = flag.Int64("seed", 42, "input generation seed")
+		format      = flag.String("format", "text", "output format: text, csv, markdown or json")
+		outDir      = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
 	)
 	flag.Parse()
 
@@ -50,11 +57,26 @@ func main() {
 		DispatchParallelism: *dispatchN,
 		Seed:                *seed,
 	}
+	modes := 0
+	for _, set := range []bool{*list, *run != "", *check != "", *benchName != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes > 1 {
+		// Silently picking one mode would let e.g. `-run all -check all`
+		// skip the fidelity check the user asked for.
+		fatal(errors.New("choose exactly one of -list, -run, -check or -bench"))
+	}
 	switch {
 	case *list:
 		listAll()
 	case *run != "":
 		if err := runExperiments(*run, opts, *format, *outDir); err != nil {
+			fatal(err)
+		}
+	case *check != "":
+		if err := runCheck(*check, opts, *baseline, *baselineTol); err != nil {
 			fatal(err)
 		}
 	case *benchName != "":
@@ -87,17 +109,23 @@ func listAll() {
 	}
 }
 
-func runExperiments(id string, opts experiments.Options, format, outDir string) error {
-	var selected []experiments.Experiment
+func selectExperiments(id string) ([]experiments.Experiment, error) {
 	if id == "all" {
-		selected = experiments.All()
-	} else {
-		e, err := experiments.ByID(id)
-		if err != nil {
-			return err
-		}
-		selected = []experiments.Experiment{e}
+		return experiments.All(), nil
 	}
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return []experiments.Experiment{e}, nil
+}
+
+func runExperiments(id string, opts experiments.Options, format, outDir string) error {
+	selected, err := selectExperiments(id)
+	if err != nil {
+		return err
+	}
+	var jsonDocs []*report.Document // collected for a combined stdout document
 	for _, e := range selected {
 		doc, err := e.Run(opts)
 		if err != nil {
@@ -108,14 +136,17 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 		case "csv":
 			body = doc.CSV()
 		case "markdown":
-			var md string
-			for _, t := range doc.Tables {
-				md += t.Markdown() + "\n"
+			body = doc.Markdown()
+		case "json":
+			if outDir == "" {
+				jsonDocs = append(jsonDocs, doc)
+				continue
 			}
-			for _, s := range doc.Series {
-				md += s.Table().Markdown() + "\n"
+			data, err := report.EncodeJSON([]*report.Document{doc})
+			if err != nil {
+				return err
 			}
-			body = md
+			body = string(data)
 		default:
 			body = doc.Render()
 		}
@@ -126,7 +157,7 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			return err
 		}
-		ext := map[string]string{"csv": "csv", "markdown": "md"}[format]
+		ext := map[string]string{"csv": "csv", "markdown": "md", "json": "json"}[format]
 		if ext == "" {
 			ext = "txt"
 		}
@@ -135,6 +166,111 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+	if format == "json" && outDir == "" {
+		// One valid JSON value on stdout, however many experiments ran.
+		data, err := report.EncodeJSON(jsonDocs)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	}
+	return nil
+}
+
+// baselineSource resolves per-experiment baseline documents from either a
+// directory of <id>.json files (the -run all -format json -o layout) or a
+// single combined file. Decoded files are cached so -check all does not
+// re-read and re-decode the combined baseline once per experiment.
+type baselineSource struct {
+	path  string
+	isDir bool
+	cache map[string]*report.Document // experiment id -> document, per decoded file
+}
+
+func newBaselineSource(path string) (*baselineSource, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	return &baselineSource{path: path, isDir: info.IsDir(), cache: map[string]*report.Document{}}, nil
+}
+
+func (b *baselineSource) doc(id string) (*report.Document, error) {
+	if d, ok := b.cache[id]; ok {
+		return d, nil
+	}
+	path := b.path
+	if b.isDir {
+		path = filepath.Join(b.path, id+".json")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	docs, err := report.DecodeJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		b.cache[d.ID] = d
+	}
+	if d, ok := b.cache[id]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("baseline %s has no document for experiment %q", path, id)
+}
+
+// runCheck runs the selected experiments and compares each against the
+// paper's published values (internal/expected) and, when -baseline is given,
+// against a previous JSON run. Any failed check makes the command exit 1.
+func runCheck(id string, opts experiments.Options, baselinePath string, baselineTol float64) error {
+	selected, err := selectExperiments(id)
+	if err != nil {
+		return err
+	}
+	var baselines *baselineSource
+	if baselinePath != "" {
+		if baselines, err = newBaselineSource(baselinePath); err != nil {
+			return fmt.Errorf("loading baseline: %w", err)
+		}
+	}
+	passed, failed := 0, 0
+	for _, e := range selected {
+		hasExp := expected.HasExpectations(e.ID)
+		if !hasExp && baselines == nil {
+			fmt.Printf("== check %s: skipped (no published values recorded)\n\n", e.ID)
+			continue
+		}
+		doc, err := e.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		var checks []expected.Check
+		if hasExp {
+			checks = expected.CompareDocument(e.ID, doc)
+		}
+		if baselines != nil {
+			base, err := baselines.doc(e.ID)
+			if err != nil {
+				return fmt.Errorf("%s: loading baseline: %w", e.ID, err)
+			}
+			checks = append(checks, expected.DiffDocuments(e.ID, base, doc, baselineTol)...)
+		}
+		fmt.Printf("== check %s: %s ==\n", e.ID, e.Title)
+		for _, c := range checks {
+			fmt.Printf("  %s\n", c)
+			if c.Pass {
+				passed++
+			} else {
+				failed++
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("check: %d passed, %d failed\n", passed, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d checks failed", failed, passed+failed)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -68,34 +69,36 @@ type RunContext struct {
 // Stopwatch starts a stopwatch on the run's host clock.
 func (ctx *RunContext) Stopwatch() *sim.Stopwatch { return sim.StartStopwatch(ctx.Host) }
 
-// Result is the outcome of one benchmark run.
+// Result is the outcome of one benchmark run. The JSON tags are part of the
+// versioned results schema (report.SchemaVersion): durations serialise as
+// integer nanoseconds, so the encoding is exact and platform-independent.
 type Result struct {
-	Benchmark string
-	API       hw.API
-	Platform  string
-	Workload  string
+	Benchmark string `json:"benchmark"`
+	API       hw.API `json:"api"`
+	Platform  string `json:"platform"`
+	Workload  string `json:"workload"`
 
 	// KernelTime is the measured time of the compute phase: from just before
 	// the first kernel launch / queue submission to the completion of the last
 	// kernel, excluding data transfers and program build. This is the quantity
 	// the paper compares across APIs (§V-A2).
-	KernelTime time.Duration
+	KernelTime time.Duration `json:"kernel_time_ns"`
 	// TotalTime is the end-to-end host time of the run, including buffer
 	// management, transfers and (for OpenCL) JIT compilation.
-	TotalTime time.Duration
+	TotalTime time.Duration `json:"total_time_ns"`
 	// Dispatches is the number of kernel launches / dispatches performed.
-	Dispatches int
+	Dispatches int `json:"dispatches"`
 	// Checksum is a digest of the output buffers used for cross-API
 	// validation.
-	Checksum float64
+	Checksum float64 `json:"checksum"`
 	// KernelStats and TotalStats summarise the spread of the measured
 	// repetitions (min/max/stddev alongside the mean; warm-up runs are
 	// excluded). KernelTime and TotalTime equal the respective means.
-	KernelStats stats.DurationStats
-	TotalStats  stats.DurationStats
+	KernelStats stats.DurationStats `json:"kernel_stats"`
+	TotalStats  stats.DurationStats `json:"total_stats"`
 	// Extra carries benchmark-specific metrics (e.g. achieved bandwidth in
 	// GB/s for the memory microbenchmark).
-	Extra map[string]float64
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // ExtraValue returns the named extra metric, or 0 if absent.
@@ -207,9 +210,24 @@ func ChecksumWords(w kernels.Words) float64 {
 	return float64(h % (1 << 52))
 }
 
+// Sentinel checksums for non-finite data. A kernel that overflows float32
+// leaves ±Inf (and, combined, NaN) in its output buffer; folding those through
+// the rounding path would either never terminate (Inf) or yield
+// platform-dependent garbage that breaks the repetition-equality check
+// (NaN != NaN). Each non-finite class collapses to a fixed finite value far
+// outside any achievable rounded checksum, so repeated runs still agree and
+// cross-API comparison still distinguishes +Inf from -Inf from NaN.
+const (
+	checksumNaN    = math.MaxFloat64
+	checksumPosInf = math.MaxFloat64 / 2
+	checksumNegInf = -math.MaxFloat64 / 2
+)
+
 // ChecksumF32 computes a tolerant digest of float data: a combination of sum
 // and sum of absolute values rounded to 5 significant decimals, so results
 // that differ only by floating-point association order still match.
+// Non-finite accumulations (overflowed kernels, Inf/NaN in the buffer) map to
+// deterministic sentinel values instead of propagating.
 func ChecksumF32(data []float32) float64 {
 	var sum, abs float64
 	for _, v := range data {
@@ -220,12 +238,24 @@ func ChecksumF32(data []float32) float64 {
 			abs += float64(v)
 		}
 	}
+	switch {
+	case math.IsNaN(sum) || math.IsNaN(abs):
+		return checksumNaN
+	case math.IsInf(sum, 1) || (math.IsInf(abs, 0) && sum >= 0):
+		return checksumPosInf
+	case math.IsInf(sum, -1) || math.IsInf(abs, 0):
+		return checksumNegInf
+	}
 	return roundSig(sum, 5) + 1e-3*roundSig(abs, 5)
 }
 
+// roundSig rounds x to the given number of significant decimal digits.
+// Non-finite inputs pass through unchanged: the digit-extraction loops below
+// would never terminate on ±Inf, and NaN would survive them only to produce a
+// platform-dependent int64 conversion.
 func roundSig(x float64, digits int) float64 {
-	if x == 0 {
-		return 0
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
 	}
 	neg := x < 0
 	if neg {

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRoundSigNonFinite: ±Inf used to spin forever in the digit-extraction
+// loop and NaN survived to a platform-dependent int64 conversion; both must
+// now pass through unchanged. The finite cases pin the rounding behaviour.
+func TestRoundSigNonFinite(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if got := roundSig(math.Inf(1), 5); !math.IsInf(got, 1) {
+			t.Errorf("roundSig(+Inf) = %v, want +Inf", got)
+		}
+		if got := roundSig(math.Inf(-1), 5); !math.IsInf(got, -1) {
+			t.Errorf("roundSig(-Inf) = %v, want -Inf", got)
+		}
+		if got := roundSig(math.NaN(), 5); !math.IsNaN(got) {
+			t.Errorf("roundSig(NaN) = %v, want NaN", got)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("roundSig hung on non-finite input")
+	}
+}
+
+func TestRoundSigFinite(t *testing.T) {
+	for _, tc := range []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{123456.789, 123460},
+		{-123456.789, -123460},
+		{0.0012345678, 0.0012346},
+		{1, 1},
+		{9.999999, 10},
+	} {
+		if got := roundSig(tc.x, 5); math.Abs(got-tc.want) > math.Abs(tc.want)*1e-9 {
+			t.Errorf("roundSig(%v, 5) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+// TestChecksumF32NonFinite: buffers left with ±Inf/NaN by an overflowed
+// float32 kernel must digest to deterministic finite sentinels — NaN would
+// break the runner's repetition-equality check (NaN != NaN) and ±Inf used to
+// hang roundSig.
+func TestChecksumF32NonFinite(t *testing.T) {
+	posInf := []float32{1, float32(math.Inf(1)), 2}
+	negInf := []float32{1, float32(math.Inf(-1)), 2}
+	nan := []float32{float32(math.Inf(1)), float32(math.Inf(-1))} // Inf - Inf
+	nanDirect := []float32{float32(math.NaN()), 1}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, tc := range []struct {
+			name string
+			data []float32
+			want float64
+		}{
+			{"posInf", posInf, checksumPosInf},
+			{"negInf", negInf, checksumNegInf},
+			{"nan from Inf-Inf", nan, checksumNaN},
+			{"nan direct", nanDirect, checksumNaN},
+		} {
+			got := ChecksumF32(tc.data)
+			if got != tc.want {
+				t.Errorf("%s: ChecksumF32 = %v, want sentinel %v", tc.name, got, tc.want)
+			}
+			if got != ChecksumF32(tc.data) {
+				t.Errorf("%s: checksum not repeatable", tc.name)
+			}
+		}
+		// The three sentinel classes must stay distinguishable for cross-API
+		// validation.
+		if checksumNaN == checksumPosInf || checksumPosInf == checksumNegInf || checksumNaN == checksumNegInf {
+			t.Error("sentinel checksums collide")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ChecksumF32 hung on non-finite input")
+	}
+}
+
+// TestChecksumF32Finite: association-order tolerance is the whole point of
+// the rounded digest — permuted data must produce the same checksum.
+func TestChecksumF32Finite(t *testing.T) {
+	a := []float32{1.5, -2.25, 3.75, 1e-3, 40000}
+	b := []float32{40000, 1e-3, -2.25, 3.75, 1.5}
+	if ChecksumF32(a) != ChecksumF32(b) {
+		t.Errorf("permutation changed checksum: %v vs %v", ChecksumF32(a), ChecksumF32(b))
+	}
+	if ChecksumF32(a) == ChecksumF32(a[:4]) {
+		t.Error("checksum insensitive to dropped element")
+	}
+}

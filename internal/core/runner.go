@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"vcomputebench/internal/hw"
@@ -208,11 +209,25 @@ func (s *SuiteResult) Speedup(benchmark, workload string, api, baseline hw.API) 
 }
 
 // GeoMeanSpeedup returns the geometric-mean speedup of api over baseline
-// across every benchmark/workload pair present for both APIs.
+// across every benchmark/workload pair present for both APIs. The nested maps
+// are walked in sorted key order: float accumulation is not associative, so
+// Go's randomized map iteration would otherwise make the last digits of the
+// geomean vary between runs and break the byte-identical output guarantee.
 func (s *SuiteResult) GeoMeanSpeedup(api, baseline hw.API) (float64, error) {
 	var xs []float64
-	for bench, byWorkload := range s.Results {
+	benches := make([]string, 0, len(s.Results))
+	for bench := range s.Results {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		byWorkload := s.Results[bench]
+		workloads := make([]string, 0, len(byWorkload))
 		for wl := range byWorkload {
+			workloads = append(workloads, wl)
+		}
+		sort.Strings(workloads)
+		for _, wl := range workloads {
 			if sp, ok := s.Speedup(bench, wl, api, baseline); ok && sp > 0 {
 				xs = append(xs, sp)
 			}
@@ -234,7 +249,12 @@ func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []
 		if o.err != nil {
 			var excl *ExclusionError
 			if errors.As(o.err, &excl) {
-				out.Skipped = append(out.Skipped, *excl)
+				// Exclusions apply per benchmark/API, but the grid yields one
+				// per workload; record each distinct exclusion once so reports
+				// do not repeat it for every input size.
+				if !containsExclusion(out.Skipped, *excl) {
+					out.Skipped = append(out.Skipped, *excl)
+				}
 				continue
 			}
 			return nil, o.err
@@ -244,4 +264,13 @@ func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []
 		}
 	}
 	return out, nil
+}
+
+func containsExclusion(skipped []ExclusionError, e ExclusionError) bool {
+	for i := range skipped {
+		if skipped[i] == e {
+			return true
+		}
+	}
+	return false
 }

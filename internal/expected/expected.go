@@ -1,0 +1,443 @@
+// Package expected pins the numbers the paper publishes — peak and achieved
+// bandwidths (Figures 1 and 3), the per-platform geometric-mean Vulkan
+// speedups quoted in the abstract and §VII, and the Table IV exclusions — so
+// that `vcbench -check` and the TestPaperFidelity tier-1 test can fail any
+// change that drifts the simulator away from the published results.
+//
+// Each metric carries its own relative tolerance. Tolerances are part of the
+// repo's fidelity contract: they document how closely the current calibration
+// reproduces each published value, and tightening them is the yardstick for
+// calibration work. The wide desktop-geomean tolerances record a known gap
+// (see the Note fields); they exist so the check still catches *regressions*
+// from today's fidelity while the gap is being closed.
+package expected
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"vcomputebench/internal/report"
+)
+
+// Metric is one published scalar with its comparison tolerance.
+type Metric struct {
+	// Experiment is the experiment that measures this metric (e.g. "fig2a").
+	Experiment string
+	// Name matches report.Metric.Name in the experiment's document.
+	Name string
+	Unit string
+	// Paper is the published value.
+	Paper float64
+	// RelTol is the allowed relative deviation |measured-paper|/|paper|.
+	RelTol float64
+	// Note documents why a tolerance is wide (known calibration gaps).
+	Note string
+}
+
+// Exclusion is one Table IV gap the simulator must reproduce: the named
+// benchmark produced no result for the API (empty = every API) in the given
+// experiment. The check fails both when an expected exclusion is missing and
+// when the simulator drops data the paper did not.
+type Exclusion struct {
+	Experiment string
+	Benchmark  string
+	API        string // empty means every API of the experiment
+}
+
+// Metrics returns every published value with its tolerance, in paper order.
+func Metrics() []Metric {
+	const (
+		calNote     = "simulator calibration reproduces the speedup shape but undershoots the desktop geomean; tolerance tracks the open gap"
+		plateauNote = "stride-1 plateau of the calibrated simulator; the paper publishes the achieved-bandwidth curves in this figure"
+	)
+	vk, cl, cu := "Vulkan", "OpenCL", "CUDA"
+	return []Metric{
+		// Fig. 1a — GTX 1050 Ti strided bandwidth.
+		{Experiment: "fig1a", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 112, RelTol: 0},
+		{Experiment: "fig1a", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 82, RelTol: 0.10, Note: plateauNote},
+		{Experiment: "fig1a", Name: report.MetricAchievedBandwidth(cu), Unit: "GB/s", Paper: 81, RelTol: 0.10, Note: plateauNote},
+		// Fig. 1b — RX 560 strided bandwidth.
+		{Experiment: "fig1b", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 112, RelTol: 0},
+		{Experiment: "fig1b", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 72.5, RelTol: 0.10, Note: plateauNote},
+		{Experiment: "fig1b", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 71.9, RelTol: 0.10, Note: plateauNote},
+		// Fig. 2 — desktop Rodinia geomeans (paper: 1.66x NVIDIA, 1.26x AMD vs OpenCL).
+		{Experiment: "fig2a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.40, Note: calNote},
+		{Experiment: "fig2b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.20, Note: calNote},
+		// Fig. 3 — mobile strided bandwidth.
+		{Experiment: "fig3a", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 3.2, RelTol: 0},
+		{Experiment: "fig3a", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 2.6, RelTol: 0.15, Note: plateauNote},
+		{Experiment: "fig3a", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 2.7, RelTol: 0.15, Note: plateauNote},
+		{Experiment: "fig3b", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 3.6, RelTol: 0},
+		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 1.8, RelTol: 0.15, Note: plateauNote},
+		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 2.2, RelTol: 0.15, Note: plateauNote},
+		// Fig. 4 — mobile Rodinia geomeans (paper: 1.59x Nexus, 0.83x Snapdragon).
+		{Experiment: "fig4a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: calNote},
+		{Experiment: "fig4b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
+		// Headline geomeans (abstract / §VII): 1.53x vs CUDA, 1.66x/1.26x vs
+		// OpenCL on desktop, 1.59x Nexus, 0.83x Snapdragon.
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cu), Unit: "x", Paper: 1.53, RelTol: 0.45, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.40, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("rx560", vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.20, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("powervr-g6430", vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("adreno506", vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
+	}
+}
+
+// Exclusions returns the Table IV gaps per experiment: which benchmark/API
+// cells must be absent from the figures, mirroring platforms.*.Quirks.
+func Exclusions() []Exclusion {
+	return []Exclusion{
+		// Fig. 4a — Nexus Player (PowerVR G6430).
+		{Experiment: "fig4a", Benchmark: "cfd"},      // dataset does not fit (§V-B2)
+		{Experiment: "fig4a", Benchmark: "backprop"}, // failed to run on Nexus (§V-B2)
+		// Fig. 4b — Snapdragon 625 (Adreno 506).
+		{Experiment: "fig4b", Benchmark: "cfd"},                // dataset does not fit (§V-B2)
+		{Experiment: "fig4b", Benchmark: "lud", API: "OpenCL"}, // OpenCL driver issue (§V-B2)
+	}
+}
+
+// Experiments returns the experiment IDs with recorded expectations, in
+// paper order. fig2a/fig2b appear even though they only carry metric checks:
+// their exclusion lists are empty on purpose (the desktop platforms have no
+// Table IV entries), and the checker verifies no cell went missing.
+func Experiments() []string {
+	var ids []string
+	seen := map[string]bool{}
+	add := func(id string) {
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for _, m := range Metrics() {
+		add(m.Experiment)
+	}
+	for _, e := range Exclusions() {
+		add(e.Experiment)
+	}
+	return ids
+}
+
+// HasExpectations reports whether the experiment has recorded expectations.
+func HasExpectations(id string) bool {
+	for _, e := range Experiments() {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Check is the outcome of comparing one expectation (or baseline entry)
+// against a measured document.
+type Check struct {
+	Experiment string
+	// Kind is "metric", "exclusion" or "baseline".
+	Kind string
+	Name string
+	Unit string
+	// Want is the published (or baseline) value, Got the measured one; both
+	// are NaN for presence-only checks (exclusions, table equality).
+	Want   float64
+	Got    float64
+	RelTol float64
+	Pass   bool
+	// Detail explains non-numeric outcomes (missing metric, unexpected
+	// exclusion, table mismatch).
+	Detail string
+	Note   string
+}
+
+// Delta returns the relative deviation (Got-Want)/Want, or NaN when it is
+// undefined.
+func (c Check) Delta() float64 {
+	if c.Want == 0 || math.IsNaN(c.Want) || math.IsNaN(c.Got) {
+		return math.NaN()
+	}
+	return (c.Got - c.Want) / c.Want
+}
+
+// String renders the check as one aligned report line.
+func (c Check) String() string {
+	status := "PASS"
+	if !c.Pass {
+		status = "FAIL"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-9s %-46s", status, c.Kind, c.Name)
+	if !math.IsNaN(c.Want) {
+		fmt.Fprintf(&b, " want %8.4g  got %8.4g", c.Want, c.Got)
+		if d := c.Delta(); !math.IsNaN(d) {
+			fmt.Fprintf(&b, "  delta %+6.1f%% (tol ±%.0f%%)", d*100, c.RelTol*100)
+		}
+	}
+	if c.Detail != "" {
+		fmt.Fprintf(&b, "  [%s]", c.Detail)
+	}
+	return b.String()
+}
+
+// withinTol reports whether got matches want under the relative tolerance.
+// A zero tolerance demands bit-for-bit equality up to a tiny epsilon that
+// absorbs decimal formatting, not measurement drift.
+func withinTol(want, got, relTol float64) bool {
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		return false
+	}
+	return math.Abs(got-want) <= relTol*math.Abs(want)+1e-9
+}
+
+// CompareDocument checks a measured document against every expectation
+// recorded for the experiment: published metrics within tolerance, Table IV
+// exclusions present, and no unexpected exclusions.
+func CompareDocument(expID string, doc *report.Document) []Check {
+	var checks []Check
+	for _, m := range Metrics() {
+		if m.Experiment != expID {
+			continue
+		}
+		c := Check{Experiment: expID, Kind: "metric", Name: m.Name, Unit: m.Unit,
+			Want: m.Paper, RelTol: m.RelTol, Note: m.Note}
+		got, ok := doc.Metric(m.Name)
+		if !ok {
+			c.Got = math.NaN()
+			c.Detail = "metric missing from document"
+		} else {
+			c.Got = got
+			c.Pass = withinTol(m.Paper, got, m.RelTol)
+		}
+		checks = append(checks, c)
+	}
+
+	expectedExcl := make([]Exclusion, 0, 4)
+	for _, e := range Exclusions() {
+		if e.Experiment == expID {
+			expectedExcl = append(expectedExcl, e)
+		}
+	}
+	matchesExpected := func(got report.Exclusion) bool {
+		for _, e := range expectedExcl {
+			if e.Benchmark == got.Benchmark && (e.API == "" || e.API == got.API) {
+				return true
+			}
+		}
+		return false
+	}
+	if HasExpectations(expID) {
+		for _, e := range expectedExcl {
+			name := "excluded/" + e.Benchmark
+			if e.API != "" {
+				name += "/" + e.API
+			}
+			c := Check{Experiment: expID, Kind: "exclusion", Name: name, Want: math.NaN(), Got: math.NaN()}
+			for _, got := range doc.Excluded {
+				if got.Benchmark == e.Benchmark && (e.API == "" || e.API == got.API) {
+					c.Pass = true
+					c.Detail = got.Reason
+					break
+				}
+			}
+			if !c.Pass {
+				c.Detail = "expected Table IV exclusion not reproduced"
+			}
+			// An exclusion recorded for one API does not license data under
+			// another: an API=="" expectation means *no* API may have results
+			// for the benchmark, so a result cell contradicts the exclusion
+			// even when the exclusion list itself matched above.
+			for _, r := range doc.Results {
+				if r.Benchmark == e.Benchmark && (e.API == "" || e.API == string(r.API)) {
+					c.Pass = false
+					c.Detail = fmt.Sprintf("benchmark excluded by Table IV but has a %s result for workload %s", r.API, r.Workload)
+					break
+				}
+			}
+			checks = append(checks, c)
+		}
+		for _, got := range doc.Excluded {
+			if matchesExpected(got) {
+				continue
+			}
+			checks = append(checks, Check{
+				Experiment: expID, Kind: "exclusion",
+				Name: "excluded/" + got.Benchmark + "/" + got.API,
+				Want: math.NaN(), Got: math.NaN(),
+				Detail: "unexpected exclusion: " + got.Reason,
+			})
+		}
+	}
+	return checks
+}
+
+// DiffDocuments compares a fresh document against a decoded baseline — the
+// regression half of the fidelity machinery. relTol 0 demands exact equality,
+// which the deterministic simulator provides; pass a small tolerance when
+// diffing across calibration changes. Gaps (NaN) only match gaps.
+func DiffDocuments(expID string, baseline, current *report.Document, relTol float64) []Check {
+	var checks []Check
+	fail := func(kind, name, detail string) {
+		checks = append(checks, Check{Experiment: expID, Kind: kind, Name: name,
+			Want: math.NaN(), Got: math.NaN(), Detail: detail})
+	}
+	passNum := func(name string, want, got float64) {
+		c := Check{Experiment: expID, Kind: "baseline", Name: name,
+			Want: want, Got: got, RelTol: relTol}
+		if math.IsNaN(want) && math.IsNaN(got) {
+			c.Pass = true
+		} else {
+			c.Pass = withinTol(want, got, relTol)
+		}
+		checks = append(checks, c)
+	}
+
+	for _, bm := range baseline.Metrics {
+		got, ok := current.Metric(bm.Name)
+		if !ok {
+			fail("baseline", "metric/"+bm.Name, "metric missing from current run")
+			continue
+		}
+		passNum("metric/"+bm.Name, bm.Value, got)
+	}
+	for _, cm := range current.Metrics {
+		if _, ok := baseline.Metric(cm.Name); !ok {
+			fail("baseline", "metric/"+cm.Name, "metric absent from baseline")
+		}
+	}
+
+	baseSeries := map[string]*report.Series{}
+	for _, s := range baseline.Series {
+		baseSeries[s.Title] = s
+	}
+	curSeries := map[string]bool{}
+	for _, cur := range current.Series {
+		curSeries[cur.Title] = true
+		base, ok := baseSeries[cur.Title]
+		if !ok {
+			fail("baseline", "series/"+cur.Title, "series absent from baseline")
+			continue
+		}
+		mismatches := 0
+		for _, line := range cur.Order {
+			for i, x := range cur.X {
+				want, got := math.NaN(), cur.Get(line, i)
+				if i < len(base.X) && base.X[i] == x {
+					want = base.Get(line, i)
+				}
+				same := (math.IsNaN(want) && math.IsNaN(got)) || withinTol(want, got, relTol)
+				if !same {
+					mismatches++
+					passNum(fmt.Sprintf("series/%s/%s[%s]", cur.Title, line, x), want, got)
+				}
+			}
+		}
+		// A line present in the baseline but dropped from the current run is
+		// lost data, not a match.
+		curLines := map[string]bool{}
+		for _, line := range cur.Order {
+			curLines[line] = true
+		}
+		for _, line := range base.Order {
+			if !curLines[line] {
+				mismatches++
+				fail("baseline", fmt.Sprintf("series/%s/%s", cur.Title, line), "line missing from current run")
+			}
+		}
+		if mismatches == 0 {
+			checks = append(checks, Check{Experiment: expID, Kind: "baseline",
+				Name: "series/" + cur.Title, Want: math.NaN(), Got: math.NaN(), Pass: true,
+				Detail: fmt.Sprintf("%d lines match", len(cur.Order))})
+		}
+	}
+	for _, base := range baseline.Series {
+		if !curSeries[base.Title] {
+			fail("baseline", "series/"+base.Title, "series missing from current run")
+		}
+	}
+
+	baseTables := map[string]*report.Table{}
+	for _, t := range baseline.Tables {
+		baseTables[t.Title] = t
+	}
+	curTables := map[string]bool{}
+	for _, cur := range current.Tables {
+		curTables[cur.Title] = true
+		base, ok := baseTables[cur.Title]
+		if !ok {
+			fail("baseline", "table/"+cur.Title, "table absent from baseline")
+			continue
+		}
+		if tablesEqual(base, cur) {
+			checks = append(checks, Check{Experiment: expID, Kind: "baseline",
+				Name: "table/" + cur.Title, Want: math.NaN(), Got: math.NaN(), Pass: true,
+				Detail: fmt.Sprintf("%d rows match", len(cur.Rows))})
+		} else {
+			fail("baseline", "table/"+cur.Title, "table cells differ from baseline")
+		}
+	}
+	for _, base := range baseline.Tables {
+		if !curTables[base.Title] {
+			fail("baseline", "table/"+base.Title, "table missing from current run")
+		}
+	}
+
+	type cellKey struct{ bench, workload, api string }
+	baseResults := map[cellKey]float64{}
+	for _, r := range baseline.Results {
+		baseResults[cellKey{r.Benchmark, r.Workload, string(r.API)}] = float64(r.KernelTime)
+	}
+	curResults := map[cellKey]bool{}
+	mismatches := 0
+	for _, r := range current.Results {
+		key := cellKey{r.Benchmark, r.Workload, string(r.API)}
+		curResults[key] = true
+		want, ok := baseResults[key]
+		if !ok {
+			mismatches++
+			fail("baseline", fmt.Sprintf("result/%s/%s/%s", r.Benchmark, r.Workload, r.API),
+				"result cell absent from baseline")
+			continue
+		}
+		if !withinTol(want, float64(r.KernelTime), relTol) {
+			mismatches++
+			passNum(fmt.Sprintf("result/%s/%s/%s kernel-time", r.Benchmark, r.Workload, r.API),
+				want, float64(r.KernelTime))
+		}
+	}
+	// Baseline cells with no counterpart in the current run are lost data.
+	for _, r := range baseline.Results {
+		key := cellKey{r.Benchmark, r.Workload, string(r.API)}
+		if !curResults[key] {
+			mismatches++
+			fail("baseline", fmt.Sprintf("result/%s/%s/%s", r.Benchmark, r.Workload, r.API),
+				"result cell missing from current run")
+		}
+	}
+	if (len(current.Results) > 0 || len(baseline.Results) > 0) && mismatches == 0 {
+		checks = append(checks, Check{Experiment: expID, Kind: "baseline",
+			Name: "results", Want: math.NaN(), Got: math.NaN(), Pass: true,
+			Detail: fmt.Sprintf("%d kernel times match", len(current.Results))})
+	}
+	return checks
+}
+
+func tablesEqual(a, b *report.Table) bool {
+	if len(a.Columns) != len(b.Columns) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

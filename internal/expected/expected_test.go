@@ -1,0 +1,245 @@
+package expected_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/expected"
+	"vcomputebench/internal/experiments"
+	"vcomputebench/internal/report"
+)
+
+// TestExpectationsAreWellFormed: every recorded expectation must reference a
+// real experiment, carry a positive published value and a sane tolerance, and
+// metric names must be unique per experiment.
+func TestExpectationsAreWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range expected.Metrics() {
+		if _, err := experiments.ByID(m.Experiment); err != nil {
+			t.Errorf("metric %s references unknown experiment %q", m.Name, m.Experiment)
+		}
+		if m.Paper <= 0 || math.IsNaN(m.Paper) || math.IsInf(m.Paper, 0) {
+			t.Errorf("%s/%s: published value %v is not a positive finite number", m.Experiment, m.Name, m.Paper)
+		}
+		if m.RelTol < 0 || m.RelTol >= 1 {
+			t.Errorf("%s/%s: tolerance %v out of [0,1)", m.Experiment, m.Name, m.RelTol)
+		}
+		key := m.Experiment + "\x00" + m.Name
+		if seen[key] {
+			t.Errorf("duplicate expectation %s/%s", m.Experiment, m.Name)
+		}
+		seen[key] = true
+	}
+	for _, e := range expected.Exclusions() {
+		if _, err := experiments.ByID(e.Experiment); err != nil {
+			t.Errorf("exclusion %s references unknown experiment %q", e.Benchmark, e.Experiment)
+		}
+		if e.Benchmark == "" {
+			t.Errorf("%s: exclusion without a benchmark", e.Experiment)
+		}
+	}
+	for _, id := range expected.Experiments() {
+		if !expected.HasExpectations(id) {
+			t.Errorf("Experiments() lists %s but HasExpectations denies it", id)
+		}
+	}
+	if expected.HasExpectations("table1") {
+		t.Error("table1 should carry no numeric expectations")
+	}
+}
+
+func docWith(id string, metrics map[string]float64, excluded ...report.Exclusion) *report.Document {
+	d := &report.Document{ID: id, Title: id}
+	for name, v := range metrics {
+		d.AddMetric(name, "x", v)
+	}
+	d.Excluded = excluded
+	return d
+}
+
+func TestCompareDocumentTolerances(t *testing.T) {
+	name := report.MetricGeomeanSpeedup("Vulkan", "OpenCL")
+	// fig4b expects 0.83 ±10% plus the cfd (all APIs) and lud/OpenCL exclusions.
+	excl := []report.Exclusion{
+		{Benchmark: "cfd", API: "OpenCL", Reason: "does not fit"},
+		{Benchmark: "cfd", API: "Vulkan", Reason: "does not fit"},
+		{Benchmark: "lud", API: "OpenCL", Reason: "driver issue"},
+	}
+	pass := expected.CompareDocument("fig4b", docWith("fig4b", map[string]float64{name: 0.88}, excl...))
+	for _, c := range pass {
+		if !c.Pass {
+			t.Errorf("in-tolerance document failed check: %s", c)
+		}
+	}
+	if len(pass) != 3 { // 1 metric + 2 exclusion expectations
+		t.Errorf("got %d checks, want 3: %+v", len(pass), pass)
+	}
+
+	// Out of tolerance fails.
+	fail := expected.CompareDocument("fig4b", docWith("fig4b", map[string]float64{name: 1.2}, excl...))
+	if fail[0].Pass {
+		t.Errorf("0.83 vs 1.2 passed a 10%% tolerance: %s", fail[0])
+	}
+	if d := fail[0].Delta(); math.Abs(d-(1.2-0.83)/0.83) > 1e-12 {
+		t.Errorf("delta = %v", d)
+	}
+
+	// Missing metric fails with a detail, not a zero comparison.
+	missing := expected.CompareDocument("fig4b", docWith("fig4b", nil, excl...))
+	if missing[0].Pass || !strings.Contains(missing[0].Detail, "missing") {
+		t.Errorf("missing metric not reported: %s", missing[0])
+	}
+
+	// Missing expected exclusion fails; unexpected exclusion fails too.
+	noExcl := expected.CompareDocument("fig4b", docWith("fig4b", map[string]float64{name: 0.83}))
+	var exclFails int
+	for _, c := range noExcl {
+		if c.Kind == "exclusion" && !c.Pass {
+			exclFails++
+		}
+	}
+	if exclFails != 2 {
+		t.Errorf("expected 2 failed exclusion checks, got %d: %+v", exclFails, noExcl)
+	}
+	surprise := expected.CompareDocument("fig2a",
+		docWith("fig2a", map[string]float64{name: 1.66}, report.Exclusion{Benchmark: "bfs", API: "CUDA", Reason: "??"}))
+	var sawUnexpected bool
+	for _, c := range surprise {
+		if c.Kind == "exclusion" && strings.Contains(c.Detail, "unexpected") && !c.Pass {
+			sawUnexpected = true
+		}
+	}
+	if !sawUnexpected {
+		t.Errorf("unexpected exclusion not flagged: %+v", surprise)
+	}
+}
+
+// TestCompareDocumentExclusionContradictedByResults: an all-API exclusion
+// (cfd on fig4b) must fail when the document carries a result for that
+// benchmark under any API, even though the exclusion list itself still
+// mentions the benchmark for the other API.
+func TestCompareDocumentExclusionContradictedByResults(t *testing.T) {
+	name := report.MetricGeomeanSpeedup("Vulkan", "OpenCL")
+	doc := docWith("fig4b", map[string]float64{name: 0.83},
+		report.Exclusion{Benchmark: "cfd", API: "Vulkan", Reason: "does not fit"},
+		report.Exclusion{Benchmark: "lud", API: "OpenCL", Reason: "driver issue"})
+	// cfd regressed into producing OpenCL data.
+	doc.Results = append(doc.Results, &core.Result{Benchmark: "cfd", Workload: "16K", API: "OpenCL"})
+	var cfdFailed bool
+	for _, c := range expected.CompareDocument("fig4b", doc) {
+		if c.Name == "excluded/cfd" && !c.Pass && strings.Contains(c.Detail, "has a OpenCL result") {
+			cfdFailed = true
+		}
+	}
+	if !cfdFailed {
+		t.Error("cfd result under OpenCL did not fail the all-API exclusion check")
+	}
+}
+
+func TestDiffDocuments(t *testing.T) {
+	name := report.MetricGeomeanSpeedup("Vulkan", "OpenCL")
+	mkDoc := func(v, cell float64) *report.Document {
+		d := docWith("fig4b", map[string]float64{name: v})
+		s := report.NewSeries("S", "x", "y", []string{"a", "b"})
+		s.Set("Vulkan", 0, cell)
+		s.Set("Vulkan", 1, math.NaN())
+		d.Series = []*report.Series{s}
+		return d
+	}
+	// Identical documents: everything passes, gaps match gaps.
+	same := expected.DiffDocuments("fig4b", mkDoc(0.88, 1.5), mkDoc(0.88, 1.5), 0)
+	if len(same) == 0 {
+		t.Fatal("no checks produced")
+	}
+	for _, c := range same {
+		if !c.Pass {
+			t.Errorf("identical documents diff failed: %s", c)
+		}
+	}
+	// A drifted series cell fails at zero tolerance, passes at 10%.
+	drift := expected.DiffDocuments("fig4b", mkDoc(0.88, 1.5), mkDoc(0.88, 1.55), 0)
+	var failed bool
+	for _, c := range drift {
+		if !c.Pass && strings.Contains(c.Name, "series/") {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Errorf("1.5 vs 1.55 passed a zero tolerance: %+v", drift)
+	}
+	for _, c := range expected.DiffDocuments("fig4b", mkDoc(0.88, 1.5), mkDoc(0.88, 1.55), 0.10) {
+		if !c.Pass {
+			t.Errorf("1.5 vs 1.55 failed a 10%% tolerance: %s", c)
+		}
+	}
+	// A gap turning into a value (or vice versa) is a failure even at a wide
+	// tolerance: data appearing or vanishing is never a rounding artefact.
+	cur := mkDoc(0.88, 1.5)
+	cur.Series[0].Set("Vulkan", 1, 2.0)
+	var gapFail bool
+	for _, c := range expected.DiffDocuments("fig4b", mkDoc(0.88, 1.5), cur, 0.5) {
+		if !c.Pass {
+			gapFail = true
+		}
+	}
+	if !gapFail {
+		t.Error("gap->value transition passed the diff")
+	}
+}
+
+// TestDiffDocumentsDetectsLostData: the diff must be bidirectional — a line,
+// series, table or result cell present in the baseline but absent from the
+// current run is lost data, not a pass.
+func TestDiffDocumentsDetectsLostData(t *testing.T) {
+	mk := func(lines ...string) *report.Document {
+		d := &report.Document{ID: "fig4b", Title: "t"}
+		s := report.NewSeries("S", "x", "y", []string{"a"})
+		for _, l := range lines {
+			s.Set(l, 0, 1.0)
+		}
+		d.Series = []*report.Series{s}
+		d.Tables = []*report.Table{{Title: "T", Columns: []string{"c"}, Rows: [][]string{{"v"}}}}
+		d.Results = []*core.Result{{Benchmark: "bfs", Workload: "4K", API: "Vulkan", KernelTime: 100}}
+		return d
+	}
+	failNames := func(base, cur *report.Document) map[string]bool {
+		out := map[string]bool{}
+		for _, c := range expected.DiffDocuments("fig4b", base, cur, 0) {
+			if !c.Pass {
+				out[c.Name] = true
+			}
+		}
+		return out
+	}
+
+	// Dropped line.
+	if f := failNames(mk("Vulkan", "OpenCL"), mk("Vulkan")); !f["series/S/OpenCL"] {
+		t.Errorf("dropped line not detected: %v", f)
+	}
+	// Dropped series.
+	cur := mk("Vulkan")
+	cur.Series = nil
+	if f := failNames(mk("Vulkan"), cur); !f["series/S"] {
+		t.Errorf("dropped series not detected: %v", f)
+	}
+	// Dropped table.
+	cur = mk("Vulkan")
+	cur.Tables = nil
+	if f := failNames(mk("Vulkan"), cur); !f["table/T"] {
+		t.Errorf("dropped table not detected: %v", f)
+	}
+	// Dropped result cell.
+	cur = mk("Vulkan")
+	cur.Results = nil
+	if f := failNames(mk("Vulkan"), cur); !f["result/bfs/4K/Vulkan"] {
+		t.Errorf("dropped result cell not detected: %v", f)
+	}
+	// Identical documents still pass everything.
+	for _, c := range expected.DiffDocuments("fig4b", mk("Vulkan"), mk("Vulkan"), 0) {
+		if !c.Pass {
+			t.Errorf("identical documents failed: %s", c)
+		}
+	}
+}

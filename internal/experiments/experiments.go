@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"vcomputebench/internal/core"
@@ -72,14 +73,14 @@ func All() []Experiment {
 		{ID: "table1", Title: "Table I: VComputeBench benchmarks", Description: "Benchmark list with dwarf and domain", Run: runTable1},
 		{ID: "table2", Title: "Table II: Desktop GPUs experimental setup", Description: "Desktop platform configuration", Run: runTable2},
 		{ID: "table3", Title: "Table III: Mobile GPUs experimental setup", Description: "Mobile platform configuration", Run: runTable3},
-		{ID: "fig1a", Title: "Fig. 1a: Bandwidth vs stride on GTX 1050 Ti", Description: "Vulkan vs CUDA strided bandwidth", Run: figBandwidth(platforms.IDGTX1050Ti, []hw.API{hw.APIVulkan, hw.APICUDA})},
-		{ID: "fig1b", Title: "Fig. 1b: Bandwidth vs stride on RX 560", Description: "Vulkan vs OpenCL strided bandwidth", Run: figBandwidth(platforms.IDRX560, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
-		{ID: "fig2a", Title: "Fig. 2a: Rodinia speedups on GTX 1050 Ti", Description: "OpenCL/Vulkan/CUDA speedups vs OpenCL", Run: figSpeedups(platforms.IDGTX1050Ti, []hw.API{hw.APIOpenCL, hw.APIVulkan, hw.APICUDA})},
-		{ID: "fig2b", Title: "Fig. 2b: Rodinia speedups on RX 560", Description: "OpenCL/Vulkan speedups vs OpenCL", Run: figSpeedups(platforms.IDRX560, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
-		{ID: "fig3a", Title: "Fig. 3a: Bandwidth vs stride on Nexus Player", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth(platforms.IDNexus, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
-		{ID: "fig3b", Title: "Fig. 3b: Bandwidth vs stride on Snapdragon 625", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth(platforms.IDSnapdragon, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
-		{ID: "fig4a", Title: "Fig. 4a: Mobile speedups on Nexus (PowerVR G6430)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups(platforms.IDNexus, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
-		{ID: "fig4b", Title: "Fig. 4b: Mobile speedups on Snapdragon (Adreno 506)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups(platforms.IDSnapdragon, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "fig1a", Title: "Fig. 1a: Bandwidth vs stride on GTX 1050 Ti", Description: "Vulkan vs CUDA strided bandwidth", Run: figBandwidth("fig1a", platforms.IDGTX1050Ti, []hw.API{hw.APIVulkan, hw.APICUDA})},
+		{ID: "fig1b", Title: "Fig. 1b: Bandwidth vs stride on RX 560", Description: "Vulkan vs OpenCL strided bandwidth", Run: figBandwidth("fig1b", platforms.IDRX560, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig2a", Title: "Fig. 2a: Rodinia speedups on GTX 1050 Ti", Description: "OpenCL/Vulkan/CUDA speedups vs OpenCL", Run: figSpeedups("fig2a", platforms.IDGTX1050Ti, []hw.API{hw.APIOpenCL, hw.APIVulkan, hw.APICUDA})},
+		{ID: "fig2b", Title: "Fig. 2b: Rodinia speedups on RX 560", Description: "OpenCL/Vulkan speedups vs OpenCL", Run: figSpeedups("fig2b", platforms.IDRX560, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "fig3a", Title: "Fig. 3a: Bandwidth vs stride on Nexus Player", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth("fig3a", platforms.IDNexus, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig3b", Title: "Fig. 3b: Bandwidth vs stride on Snapdragon 625", Description: "Vulkan vs OpenCL mobile bandwidth", Run: figBandwidth("fig3b", platforms.IDSnapdragon, []hw.API{hw.APIVulkan, hw.APIOpenCL})},
+		{ID: "fig4a", Title: "Fig. 4a: Mobile speedups on Nexus (PowerVR G6430)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups("fig4a", platforms.IDNexus, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
+		{ID: "fig4b", Title: "Fig. 4b: Mobile speedups on Snapdragon (Adreno 506)", Description: "Vulkan speedup vs OpenCL", Run: figSpeedups("fig4b", platforms.IDSnapdragon, []hw.API{hw.APIOpenCL, hw.APIVulkan})},
 		{ID: "summary", Title: "Headline geometric-mean speedups", Description: "Geomean Vulkan speedups per platform (paper: 1.53x vs CUDA, 1.26-1.66x vs OpenCL desktop, 1.59x Nexus, 0.83x Snapdragon)", Run: runSummary},
 		{ID: "ablation-cmdbuf", Title: "Ablation: single command buffer vs per-iteration submits", Description: "Quantifies the Vulkan optimisation of §IV-C / §VI-B", Run: runAblationCmdBuf},
 		{ID: "ablation-push", Title: "Ablation: push constants vs parameter buffer binds", Description: "Quantifies the Snapdragon push-constant driver quirk of §V-B1", Run: runAblationPush},
@@ -163,7 +164,7 @@ func runTable3(opts Options) (*report.Document, error) {
 }
 
 // figBandwidth builds the bandwidth-vs-stride experiment for one platform.
-func figBandwidth(platformID string, apis []hw.API) func(Options) (*report.Document, error) {
+func figBandwidth(id, platformID string, apis []hw.API) func(Options) (*report.Document, error) {
 	return func(opts Options) (*report.Document, error) {
 		opts = opts.defaults()
 		p, err := platforms.ByID(platformID)
@@ -187,7 +188,8 @@ func figBandwidth(platformID string, apis []hw.API) func(Options) (*report.Docum
 		if err != nil {
 			return nil, err
 		}
-		doc := &report.Document{ID: "bandwidth-" + platformID, Title: series.Title, Series: []*report.Series{series}}
+		doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
+		doc.AddMetric(report.MetricPeakBandwidth, "GB/s", p.Profile.PeakBandwidthGBps)
 		for _, api := range apis {
 			var apiResults []*core.Result
 			for i, w := range workloads {
@@ -198,6 +200,9 @@ func figBandwidth(platformID string, apis []hw.API) func(Options) (*report.Docum
 				series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
 				apiResults = append(apiResults, res)
 			}
+			// The stride-1 plateau is the paper's "achieved bandwidth".
+			doc.AddMetric(report.MetricAchievedBandwidth(api.String()), "GB/s", series.Get(api.String(), 0))
+			doc.Results = append(doc.Results, apiResults...)
 			if note, ok := spreadNote(api, apiResults); ok {
 				doc.Notes = append(doc.Notes, note)
 			}
@@ -245,8 +250,9 @@ func spreadNote(api hw.API, results []*core.Result) (string, bool) {
 }
 
 // figSpeedups builds the Rodinia speedup experiment for one platform. The
-// first API in apis is the baseline (OpenCL in the paper).
-func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Document, error) {
+// first API in apis is the baseline (OpenCL in the paper). Cells the platform
+// excludes (Table IV) are explicit gaps, never a measured-looking 0.
+func figSpeedups(id, platformID string, apis []hw.API) func(Options) (*report.Document, error) {
 	return func(opts Options) (*report.Document, error) {
 		opts = opts.defaults()
 		p, err := platforms.ByID(platformID)
@@ -257,7 +263,7 @@ func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Docume
 		if err != nil {
 			return nil, err
 		}
-		ordered := orderBenchmarks(benchmarks)
+		ordered, unranked := orderBenchmarks(benchmarks)
 		runner := opts.Runner()
 		suiteRes, err := runner.RunSuite(p, ordered, apis)
 		if err != nil {
@@ -277,44 +283,66 @@ func figSpeedups(platformID string, apis []hw.API) func(Options) (*report.Docume
 		series := report.NewSeries(
 			fmt.Sprintf("Speedup vs %s on %s (kernel times)", baseline.String(), p.Profile.Name),
 			"benchmark/workload", "speedup", x)
-		doc := &report.Document{ID: "speedups-" + platformID, Title: series.Title, Series: []*report.Series{series}}
+		doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
 		for _, api := range apis {
 			var apiResults []*core.Result
 			for i, c := range cells {
 				if sp, ok := suiteRes.Speedup(c.bench, c.workload, api, baseline); ok {
 					series.Set(api.String(), i, sp)
 				} else {
-					series.Set(api.String(), i, 0)
+					series.Set(api.String(), i, math.NaN())
 				}
 				if res, ok := suiteRes.Lookup(c.bench, c.workload, api); ok {
 					apiResults = append(apiResults, res)
 				}
 			}
+			doc.Results = append(doc.Results, apiResults...)
 			if note, ok := spreadNote(api, apiResults); ok {
 				doc.Notes = append(doc.Notes, note)
 			}
 		}
 		for _, api := range apis[1:] {
 			if g, err := suiteRes.GeoMeanSpeedup(api, baseline); err == nil {
-				doc.Notes = append(doc.Notes, fmt.Sprintf("geomean speedup %s vs %s: %.2fx", api, baseline, g))
+				doc.AddMetric(report.MetricGeomeanSpeedup(api.String(), baseline.String()), "x", g)
 			}
 		}
 		for _, skip := range suiteRes.Skipped {
-			doc.Notes = append(doc.Notes, fmt.Sprintf("excluded %s/%s: %s", skip.Benchmark, skip.API, skip.Reason))
+			doc.Excluded = append(doc.Excluded, report.Exclusion{
+				Benchmark: skip.Benchmark, API: skip.API.String(), Reason: skip.Reason,
+			})
+		}
+		for _, name := range unranked {
+			doc.Notes = append(doc.Notes,
+				fmt.Sprintf("benchmark %s is not in the paper's figure order; plotted after the ranked benchmarks", name))
 		}
 		return doc, nil
 	}
 }
 
 // orderBenchmarks sorts benchmarks into the x-axis order of Figures 2 and 4.
-func orderBenchmarks(bs []core.Benchmark) []core.Benchmark {
-	rank := map[string]int{}
-	for i, n := range suite.FigureOrder() {
+// Benchmarks absent from suite.FigureOrder() sort after every ranked one —
+// a zero rank would collide with the real first benchmark and shuffle it out
+// of position — and are reported so the omission is visible in the output.
+func orderBenchmarks(bs []core.Benchmark) (ordered []core.Benchmark, unranked []string) {
+	order := suite.FigureOrder()
+	rank := make(map[string]int, len(order))
+	for i, n := range order {
 		rank[n] = i
 	}
-	out := append([]core.Benchmark(nil), bs...)
-	sort.SliceStable(out, func(i, j int) bool { return rank[out[i].Name()] < rank[out[j].Name()] })
-	return out
+	pos := func(b core.Benchmark) int {
+		if r, ok := rank[b.Name()]; ok {
+			return r
+		}
+		return len(order) // unknown: after every ranked benchmark, stable among themselves
+	}
+	ordered = append([]core.Benchmark(nil), bs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return pos(ordered[i]) < pos(ordered[j]) })
+	for _, b := range ordered {
+		if _, ok := rank[b.Name()]; !ok {
+			unranked = append(unranked, b.Name())
+		}
+	}
+	return ordered, unranked
 }
 
 // runSummary reproduces the headline geometric means quoted in the abstract
@@ -330,6 +358,7 @@ func runSummary(opts Options) (*report.Document, error) {
 		Title:   "Headline geometric-mean Vulkan speedups",
 		Columns: []string{"Platform", "Baseline", "Measured", "Paper"},
 	}
+	doc := &report.Document{ID: "summary", Title: t.Title, Tables: []*report.Table{t}}
 	add := func(platformID string, apis []hw.API, baseline hw.API, paper string) error {
 		p, err := platforms.ByID(platformID)
 		if err != nil {
@@ -344,6 +373,7 @@ func runSummary(opts Options) (*report.Document, error) {
 			return err
 		}
 		t.AddRow(p.Profile.Name, baseline.String(), fmt.Sprintf("%.2fx", g), paper)
+		doc.AddMetric(report.MetricPlatformGeomean(platformID, hw.APIVulkan.String(), baseline.String()), "x", g)
 		return nil
 	}
 	if err := add(platforms.IDGTX1050Ti, []hw.API{hw.APICUDA, hw.APIVulkan}, hw.APICUDA, "1.53x"); err != nil {
@@ -361,5 +391,5 @@ func runSummary(opts Options) (*report.Document, error) {
 	if err := add(platforms.IDSnapdragon, []hw.API{hw.APIOpenCL, hw.APIVulkan}, hw.APIOpenCL, "0.83x"); err != nil {
 		return nil, err
 	}
-	return &report.Document{ID: "summary", Title: t.Title, Tables: []*report.Table{t}}, nil
+	return doc, nil
 }

@@ -1,0 +1,180 @@
+// Machine-readable results: a stable, versioned JSON schema for experiment
+// documents, so downstream tooling can parse results and CI can diff them
+// across runs (like BENCH_dispatch.json does for dispatch-engine perf).
+//
+// Schema policy (v1):
+//   - The top-level envelope is {"schema_version": N, "documents": [...]}.
+//   - Additive changes (new optional fields) do NOT bump the version.
+//   - Renaming, removing or re-typing a field bumps SchemaVersion, and the
+//     decoder rejects files whose version it does not understand.
+//   - Durations are integer nanoseconds; series gaps (excluded cells) are
+//     null, never 0.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"vcomputebench/internal/core"
+)
+
+// SchemaVersion identifies the JSON results schema emitted by EncodeJSON and
+// accepted by DecodeJSON.
+const SchemaVersion = 1
+
+type jsonEnvelope struct {
+	SchemaVersion int             `json:"schema_version"`
+	Documents     []*jsonDocument `json:"documents"`
+}
+
+type jsonDocument struct {
+	ID       string         `json:"id"`
+	Title    string         `json:"title"`
+	Tables   []*jsonTable   `json:"tables,omitempty"`
+	Series   []*jsonSeries  `json:"series,omitempty"`
+	Metrics  []jsonMetric   `json:"metrics,omitempty"`
+	Results  []*core.Result `json:"results,omitempty"`
+	Excluded []Exclusion    `json:"excluded,omitempty"`
+	Notes    []string       `json:"notes,omitempty"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// jsonSeries stores lines as an ordered list, not a map: the on-disk order is
+// the presentation order and must be byte-stable across runs.
+type jsonSeries struct {
+	Title  string      `json:"title"`
+	XLabel string      `json:"x_label"`
+	YLabel string      `json:"y_label"`
+	X      []string    `json:"x"`
+	Lines  []*jsonLine `json:"lines"`
+}
+
+type jsonLine struct {
+	Name string `json:"name"`
+	// Values uses null for gaps (excluded cells): encoding/json cannot
+	// represent NaN, and 0 would be indistinguishable from a measurement.
+	Values []*float64 `json:"values"`
+}
+
+// jsonMetric guards the one float the schema allows to be absent-but-present:
+// a non-finite metric value round-trips as null.
+type jsonMetric struct {
+	Name  string   `json:"name"`
+	Unit  string   `json:"unit,omitempty"`
+	Value *float64 `json:"value"`
+}
+
+func encodeFloat(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	f := v
+	return &f
+}
+
+func decodeFloat(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+func toJSONDocument(d *Document) *jsonDocument {
+	jd := &jsonDocument{
+		ID:       d.ID,
+		Title:    d.Title,
+		Results:  d.Results,
+		Excluded: d.Excluded,
+		Notes:    d.Notes,
+	}
+	for _, t := range d.Tables {
+		jd.Tables = append(jd.Tables, &jsonTable{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	for _, s := range d.Series {
+		js := &jsonSeries{Title: s.Title, XLabel: s.XLabel, YLabel: s.YLabel, X: s.X}
+		for _, name := range s.Order {
+			line := &jsonLine{Name: name, Values: make([]*float64, len(s.X))}
+			for i := range s.X {
+				line.Values[i] = encodeFloat(s.Get(name, i))
+			}
+			js.Lines = append(js.Lines, line)
+		}
+		jd.Series = append(jd.Series, js)
+	}
+	for _, m := range d.Metrics {
+		jd.Metrics = append(jd.Metrics, jsonMetric{Name: m.Name, Unit: m.Unit, Value: encodeFloat(m.Value)})
+	}
+	return jd
+}
+
+func fromJSONDocument(jd *jsonDocument) *Document {
+	d := &Document{
+		ID:       jd.ID,
+		Title:    jd.Title,
+		Results:  jd.Results,
+		Excluded: jd.Excluded,
+		Notes:    jd.Notes,
+	}
+	for _, t := range jd.Tables {
+		d.Tables = append(d.Tables, &Table{Title: t.Title, Columns: t.Columns, Rows: t.Rows})
+	}
+	for _, js := range jd.Series {
+		s := NewSeries(js.Title, js.XLabel, js.YLabel, js.X)
+		for _, line := range js.Lines {
+			for i := range js.X {
+				v := math.NaN()
+				if i < len(line.Values) {
+					v = decodeFloat(line.Values[i])
+				}
+				s.Set(line.Name, i, v)
+			}
+			// A line of pure gaps still has to exist with its name in order.
+			if len(js.X) == 0 {
+				s.Set(line.Name, -1, math.NaN())
+			}
+		}
+		d.Series = append(d.Series, s)
+	}
+	for _, m := range jd.Metrics {
+		d.Metrics = append(d.Metrics, Metric{Name: m.Name, Unit: m.Unit, Value: decodeFloat(m.Value)})
+	}
+	return d
+}
+
+// EncodeJSON serialises documents under the versioned results schema. The
+// output is deterministic: map-free structures, indented, trailing newline.
+func EncodeJSON(docs []*Document) ([]byte, error) {
+	env := &jsonEnvelope{SchemaVersion: SchemaVersion}
+	for _, d := range docs {
+		env.Documents = append(env.Documents, toJSONDocument(d))
+	}
+	data, err := json.MarshalIndent(env, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("report: encoding JSON results: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeJSON parses a results file produced by EncodeJSON, rejecting schema
+// versions this build does not understand.
+func DecodeJSON(data []byte) ([]*Document, error) {
+	var env jsonEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("report: decoding JSON results: %w", err)
+	}
+	if env.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("report: results schema version %d not supported (this build reads version %d)",
+			env.SchemaVersion, SchemaVersion)
+	}
+	var docs []*Document
+	for _, jd := range env.Documents {
+		docs = append(docs, fromJSONDocument(jd))
+	}
+	return docs, nil
+}

@@ -1,0 +1,140 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/report"
+	"vcomputebench/internal/stats"
+)
+
+func sampleDocument() *report.Document {
+	d := &report.Document{ID: "fig4b", Title: "Mobile speedups"}
+	d.Tables = append(d.Tables, commaTable())
+	d.Series = append(d.Series, gapSeries())
+	d.AddMetric(report.MetricGeomeanSpeedup("Vulkan", "OpenCL"), "x", 0.883)
+	d.Excluded = append(d.Excluded,
+		report.Exclusion{Benchmark: "cfd", API: "Vulkan", Reason: "dataset does not fit"})
+	d.Notes = append(d.Notes, "a note")
+	d.Results = append(d.Results, &core.Result{
+		Benchmark:  "bfs",
+		API:        "Vulkan",
+		Platform:   "adreno506",
+		Workload:   "64K",
+		KernelTime: 123456 * time.Nanosecond,
+		TotalTime:  654321 * time.Nanosecond,
+		Dispatches: 12,
+		Checksum:   42.5,
+		KernelStats: stats.DurationStats{
+			Mean: 123456, Min: 120000, Max: 130000, StdDev: 4000, N: 3,
+		},
+		TotalStats: stats.DurationStats{Mean: 654321, Min: 654321, Max: 654321, N: 3},
+		Extra:      map[string]float64{"bandwidth_gbps": 1.806},
+	})
+	return d
+}
+
+// TestJSONRoundTrip: encode → decode → encode must be byte-identical — the
+// schema loses nothing, including NaN gaps (encoded as null) and duration
+// statistics.
+func TestJSONRoundTrip(t *testing.T) {
+	doc := sampleDocument()
+	first, err := report.EncodeJSON([]*report.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := report.DecodeJSON(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d documents, want 1", len(decoded))
+	}
+	second, err := report.EncodeJSON(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("round trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+
+	got := decoded[0]
+	if got.ID != doc.ID || got.Title != doc.Title {
+		t.Errorf("identity fields lost: %q/%q", got.ID, got.Title)
+	}
+	if v, ok := got.Metric(report.MetricGeomeanSpeedup("Vulkan", "OpenCL")); !ok || v != 0.883 {
+		t.Errorf("metric lost: %v %v", v, ok)
+	}
+	if !math.IsNaN(got.Series[0].Get("Vulkan", 1)) {
+		t.Errorf("gap cell decoded as %v, want NaN", got.Series[0].Get("Vulkan", 1))
+	}
+	if got.Series[0].Get("Vulkan", 2) != 2.25 {
+		t.Errorf("series value lost: %v", got.Series[0].Get("Vulkan", 2))
+	}
+	r := got.Results[0]
+	if r.KernelTime != 123456*time.Nanosecond || r.KernelStats.N != 3 || r.Extra["bandwidth_gbps"] != 1.806 {
+		t.Errorf("result stats lost: %+v", r)
+	}
+	if got.Excluded[0].Benchmark != "cfd" {
+		t.Errorf("exclusions lost: %+v", got.Excluded)
+	}
+}
+
+// TestJSONGapsAreNullNotZero: the serialised form must use null for gaps so
+// downstream consumers cannot mistake them for measurements.
+func TestJSONGapsAreNullNotZero(t *testing.T) {
+	data, err := report.EncodeJSON([]*report.Document{{
+		ID: "x", Title: "X",
+		Series: []*report.Series{gapSeries()},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		SchemaVersion int `json:"schema_version"`
+		Documents     []struct {
+			Series []struct {
+				Lines []struct {
+					Name   string     `json:"name"`
+					Values []*float64 `json:"values"`
+				} `json:"lines"`
+			} `json:"series"`
+		} `json:"documents"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("output does not parse with encoding/json: %v", err)
+	}
+	if env.SchemaVersion != report.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", env.SchemaVersion, report.SchemaVersion)
+	}
+	lines := env.Documents[0].Series[0].Lines
+	if lines[0].Name != "Vulkan" || lines[1].Name != "OpenCL" {
+		t.Fatalf("line order lost: %+v", lines)
+	}
+	if lines[0].Values[1] != nil {
+		t.Errorf("gap serialised as %v, want null", *lines[0].Values[1])
+	}
+	if lines[1].Values[2] != nil {
+		t.Errorf("implicit gap serialised as %v, want null", *lines[1].Values[2])
+	}
+	if lines[0].Values[0] == nil || *lines[0].Values[0] != 1.5 {
+		t.Errorf("measured value mangled: %v", lines[0].Values[0])
+	}
+}
+
+// TestJSONSchemaVersionRejected: a future schema version must be refused, not
+// silently half-parsed.
+func TestJSONSchemaVersionRejected(t *testing.T) {
+	_, err := report.DecodeJSON([]byte(`{"schema_version": 99, "documents": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Errorf("unsupported schema version accepted: %v", err)
+	}
+	if _, err := report.DecodeJSON([]byte(`not json`)); err == nil {
+		t.Error("garbage input accepted")
+	}
+}

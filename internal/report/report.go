@@ -1,11 +1,17 @@
 // Package report renders experiment results as text tables, simple ASCII
-// charts and CSV, for the CLI harness and EXPERIMENTS.md.
+// charts, CSV, markdown and versioned JSON (see json.go), for the CLI harness
+// and EXPERIMENTS.md. Missing data — excluded benchmark/API cells, datasets
+// that did not fit — is represented explicitly as NaN and rendered as "-",
+// never as a fake measured zero.
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
+	"math"
 	"strings"
 
+	"vcomputebench/internal/core"
 	"vcomputebench/internal/stats"
 )
 
@@ -56,7 +62,11 @@ func (t *Table) Render() string {
 	}
 	line := func(cells []string) {
 		for i, c := range cells {
-			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprintf(&b, "%s  ", c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -72,16 +82,40 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as RFC 4180 comma-separated values: fields containing
+// commas, quotes or newlines are quoted/escaped by encoding/csv, so a cell
+// like "CPU Memory=16 GB, GPU Memory=4096 MB" stays one field instead of
+// shifting every column after it.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Columns, ","))
-	b.WriteByte('\n')
+	w := csv.NewWriter(&b)
+	// Write errors cannot occur on a strings.Builder; Flush+Error would still
+	// surface a malformed-field panic path, checked below for robustness.
+	_ = w.Write(t.Columns)
 	for _, row := range t.Rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+		_ = w.Write(row)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		// Unreachable with an in-memory writer; keep the failure loud.
+		panic(fmt.Sprintf("report: CSV encoding failed: %v", err))
 	}
 	return b.String()
+}
+
+// escapeMarkdown makes a cell safe inside a GitHub-flavoured markdown table:
+// pipes would otherwise terminate the cell and shift every column after it.
+func escapeMarkdown(cell string) string {
+	cell = strings.ReplaceAll(cell, "|", `\|`)
+	return strings.ReplaceAll(cell, "\n", " ")
+}
+
+func markdownRow(cells []string) string {
+	escaped := make([]string, len(cells))
+	for i, c := range cells {
+		escaped[i] = escapeMarkdown(c)
+	}
+	return "| " + strings.Join(escaped, " | ") + " |\n"
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table.
@@ -90,20 +124,23 @@ func (t *Table) Markdown() string {
 	if t.Title != "" {
 		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
 	}
-	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	b.WriteString(markdownRow(t.Columns))
 	seps := make([]string, len(t.Columns))
 	for i := range seps {
 		seps[i] = "---"
 	}
-	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	b.WriteString(markdownRow(seps))
 	for _, row := range t.Rows {
-		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
+		b.WriteString(markdownRow(row))
 	}
 	return b.String()
 }
 
 // Series is a set of named lines over a shared categorical x axis (e.g.
 // bandwidth vs stride per API, or speedup per benchmark/workload per API).
+// Cells that were never set, or were set to NaN, are gaps: the paper's
+// excluded benchmark/API combinations. Gaps render as "-" and serialise as
+// JSON null, so they can never be mistaken for a measured zero.
 type Series struct {
 	Title  string
 	XLabel string
@@ -118,15 +155,38 @@ func NewSeries(title, xLabel, yLabel string, x []string) *Series {
 	return &Series{Title: title, XLabel: xLabel, YLabel: yLabel, X: x, Lines: map[string][]float64{}}
 }
 
-// Set stores the y value of a line at x index i.
+// Set stores the y value of a line at x index i. Passing math.NaN() records
+// an explicit gap. A line's unset cells are gaps too: new lines start as all
+// NaN, not all zero.
 func (s *Series) Set(line string, i int, y float64) {
 	if _, ok := s.Lines[line]; !ok {
-		s.Lines[line] = make([]float64, len(s.X))
+		ys := make([]float64, len(s.X))
+		for j := range ys {
+			ys[j] = math.NaN()
+		}
+		s.Lines[line] = ys
 		s.Order = append(s.Order, line)
 	}
 	if i >= 0 && i < len(s.X) {
 		s.Lines[line][i] = y
 	}
+}
+
+// Get returns the y value of a line at x index i; gaps are NaN.
+func (s *Series) Get(line string, i int) float64 {
+	ys, ok := s.Lines[line]
+	if !ok || i < 0 || i >= len(ys) {
+		return math.NaN()
+	}
+	return ys[i]
+}
+
+// formatCell renders one series value: gaps become "-".
+func formatCell(y float64) string {
+	if math.IsNaN(y) {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", y)
 }
 
 // Table converts the series to a table with one row per x value.
@@ -136,14 +196,15 @@ func (s *Series) Table() *Table {
 	for i, x := range s.X {
 		row := []string{x}
 		for _, name := range s.Order {
-			row = append(row, fmt.Sprintf("%.3f", s.Lines[name][i]))
+			row = append(row, formatCell(s.Lines[name][i]))
 		}
 		t.AddRow(row...)
 	}
 	return t
 }
 
-// Chart renders a crude ASCII bar chart: one group of bars per x value.
+// Chart renders a crude ASCII bar chart: one group of bars per x value. Gap
+// cells draw no bar and are labelled "-".
 func (s *Series) Chart(width int) string {
 	if width <= 0 {
 		width = 50
@@ -151,7 +212,7 @@ func (s *Series) Chart(width int) string {
 	max := 0.0
 	for _, ys := range s.Lines {
 		for _, y := range ys {
-			if y > max {
+			if y > max { // NaN compares false: gaps never set the scale
 				max = y
 			}
 		}
@@ -165,23 +226,104 @@ func (s *Series) Chart(width int) string {
 		fmt.Fprintf(&b, "%s\n", x)
 		for _, name := range s.Order {
 			y := s.Lines[name][i]
-			n := int(y / max * float64(width))
-			if n < 0 {
-				n = 0
+			n := 0
+			if !math.IsNaN(y) {
+				n = int(y / max * float64(width))
+				if n < 0 {
+					n = 0
+				}
 			}
-			fmt.Fprintf(&b, "  %-8s %-*s %.3f\n", name, width, strings.Repeat("#", n), y)
+			fmt.Fprintf(&b, "  %-8s %-*s %s\n", name, width, strings.Repeat("#", n), formatCell(y))
 		}
 	}
 	return b.String()
 }
 
+// Metric is one scalar headline value of an experiment — an achieved
+// bandwidth, a geometric-mean speedup — identified by a stable name so the
+// fidelity checker (internal/expected) and baseline diffs can find it across
+// runs and schema versions.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// Canonical metric names shared between the experiments that emit them and
+// the expected-values tables that check them.
+const MetricPeakBandwidth = "peak-bandwidth"
+
+// MetricAchievedBandwidth names the best achieved bandwidth of one API
+// (the stride-1 plateau of Figures 1 and 3).
+func MetricAchievedBandwidth(api string) string {
+	return "achieved-bandwidth/" + api
+}
+
+// MetricGeomeanSpeedup names the geometric-mean speedup of one API over a
+// baseline API within a speedup figure.
+func MetricGeomeanSpeedup(api, baseline string) string {
+	return "geomean-speedup/" + api + "-vs-" + baseline
+}
+
+// MetricPlatformGeomean names a headline per-platform geomean in the summary
+// experiment.
+func MetricPlatformGeomean(platformID, api, baseline string) string {
+	return "geomean-speedup/" + platformID + "/" + api + "-vs-" + baseline
+}
+
+// Exclusion records a benchmark/API pair that produced no data on the
+// document's platform, with the paper's reason (Table IV: driver failures,
+// datasets that do not fit). Excluded cells are also NaN gaps in the series;
+// this carries the why.
+type Exclusion struct {
+	Benchmark string `json:"benchmark"`
+	API       string `json:"api"`
+	Reason    string `json:"reason,omitempty"`
+}
+
 // Document is the rendered output of one experiment.
 type Document struct {
+	// ID is the experiment identifier (e.g. "fig2a"), shared with the CLI,
+	// the JSON artifact file names and the expected-values tables.
 	ID     string
 	Title  string
 	Tables []*Table
 	Series []*Series
-	Notes  []string
+	// Metrics are the document's headline scalars (see Metric).
+	Metrics []Metric
+	// Results are the underlying per-cell measurements, in deterministic
+	// (API, cell) order, carrying the full repetition statistics.
+	Results []*core.Result
+	// Excluded lists the benchmark/API pairs that produced no data.
+	Excluded []Exclusion
+	Notes    []string
+}
+
+// AddMetric appends a named headline scalar.
+func (d *Document) AddMetric(name, unit string, value float64) {
+	d.Metrics = append(d.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
+
+// Metric returns the named headline scalar, if present.
+func (d *Document) Metric(name string) (float64, bool) {
+	for _, m := range d.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// FormatMetric renders a metric value with its unit for text output.
+func FormatMetric(m Metric) string {
+	v := fmt.Sprintf("%.4g", m.Value)
+	if m.Unit == "" {
+		return v
+	}
+	if m.Unit == "x" {
+		return v + "x"
+	}
+	return v + " " + m.Unit
 }
 
 // Render formats the whole document as text.
@@ -196,13 +338,21 @@ func (d *Document) Render() string {
 		b.WriteString(s.Table().Render())
 		b.WriteByte('\n')
 	}
+	for _, m := range d.Metrics {
+		fmt.Fprintf(&b, "metric: %s = %s\n", m.Name, FormatMetric(m))
+	}
+	for _, e := range d.Excluded {
+		fmt.Fprintf(&b, "excluded: %s/%s: %s\n", e.Benchmark, e.API, e.Reason)
+	}
 	for _, n := range d.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
 }
 
-// CSV renders every table and series of the document as CSV blocks.
+// CSV renders every table and series of the document as RFC 4180 CSV blocks
+// separated by blank lines. Metrics, exclusions and notes are omitted: CSV is
+// the tabular interchange format; use JSON for the full document.
 func (d *Document) CSV() string {
 	var b strings.Builder
 	for _, t := range d.Tables {
@@ -212,6 +362,31 @@ func (d *Document) CSV() string {
 	for _, s := range d.Series {
 		b.WriteString(s.Table().CSV())
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the whole document as GitHub-flavoured markdown, including
+// metrics, exclusions and notes.
+func (d *Document) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s: %s\n\n", d.ID, d.Title)
+	for _, t := range d.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	for _, s := range d.Series {
+		b.WriteString(s.Table().Markdown())
+		b.WriteByte('\n')
+	}
+	for _, m := range d.Metrics {
+		fmt.Fprintf(&b, "- metric `%s` = %s\n", m.Name, FormatMetric(m))
+	}
+	for _, e := range d.Excluded {
+		fmt.Fprintf(&b, "- excluded %s/%s: %s\n", e.Benchmark, e.API, e.Reason)
+	}
+	for _, n := range d.Notes {
+		fmt.Fprintf(&b, "- note: %s\n", n)
 	}
 	return b.String()
 }

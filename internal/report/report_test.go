@@ -1,0 +1,175 @@
+package report_test
+
+import (
+	"encoding/csv"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/report"
+)
+
+// commaTable mirrors the Table II/III shape that used to break the CSV
+// renderer: the Memory row embeds a comma, and other cells carry quotes and
+// pipes.
+func commaTable() *report.Table {
+	t := &report.Table{
+		Title:   "Table II: Desktop GPUs experimental setup",
+		Columns: []string{"Property", "NVIDIA GTX1050Ti", "AMD RX560"},
+	}
+	t.AddRow("Memory", "CPU Memory=16 GB, GPU Memory=4096 MB", "CPU Memory=16 GB, GPU Memory=4096 MB")
+	t.AddRow("Driver", `the "stable" branch`, "a|b pipe")
+	t.AddRow("") // empty row: pads to the column count
+	return t
+}
+
+// TestTableCSVRoundTrip: every record must parse back with encoding/csv into
+// exactly the original cells — RFC 4180 quoting, not naive joining.
+func TestTableCSVRoundTrip(t *testing.T) {
+	tab := commaTable()
+	r := csv.NewReader(strings.NewReader(tab.CSV()))
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not parse: %v", err)
+	}
+	if len(records) != 1+len(tab.Rows) {
+		t.Fatalf("got %d records, want %d (header + rows)", len(records), 1+len(tab.Rows))
+	}
+	if !reflect.DeepEqual(records[0], tab.Columns) {
+		t.Errorf("header = %q, want %q", records[0], tab.Columns)
+	}
+	for i, row := range tab.Rows {
+		if !reflect.DeepEqual(records[1+i], row) {
+			t.Errorf("row %d = %q, want %q", i, records[1+i], row)
+		}
+	}
+	// encoding/csv's default strictness (FieldsPerRecord) already enforced
+	// equal field counts above; make the guarantee explicit.
+	for i, rec := range records {
+		if len(rec) != len(tab.Columns) {
+			t.Errorf("record %d has %d fields, want %d", i, len(rec), len(tab.Columns))
+		}
+	}
+}
+
+func TestTableRenderGolden(t *testing.T) {
+	tab := &report.Table{
+		Title:   "T",
+		Columns: []string{"A", "Bee"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("longer", "x")
+	want := "T\n" +
+		"A       Bee  \n" +
+		"------  ---  \n" +
+		"1       2    \n" +
+		"longer  x    \n"
+	if got := tab.Render(); got != want {
+		t.Errorf("Render golden mismatch:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+// TestTableMarkdownEscapesPipes: a pipe inside a cell would otherwise
+// terminate the markdown cell and shift every column after it.
+func TestTableMarkdownEscapesPipes(t *testing.T) {
+	tab := &report.Table{Columns: []string{"k", "v"}}
+	tab.AddRow("a|b", "plain")
+	md := tab.Markdown()
+	if !strings.Contains(md, `a\|b`) {
+		t.Errorf("pipe not escaped in markdown:\n%s", md)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(md), "\n") {
+		if n := strings.Count(strings.ReplaceAll(line, `\|`, ""), "|"); n != 3 {
+			t.Errorf("markdown row %q has %d unescaped pipes, want 3", line, n)
+		}
+	}
+}
+
+func gapSeries() *report.Series {
+	s := report.NewSeries("Speedup", "bench", "x", []string{"a", "b", "c"})
+	s.Set("Vulkan", 0, 1.5)
+	s.Set("Vulkan", 1, math.NaN()) // excluded cell
+	s.Set("Vulkan", 2, 2.25)
+	s.Set("OpenCL", 0, 1.0)
+	// OpenCL b and c never set: implicit gaps.
+	return s
+}
+
+// TestSeriesGapsRenderAsDash: a gap must be visibly different from a measured
+// zero in the text, CSV and markdown renderings.
+func TestSeriesGapsRenderAsDash(t *testing.T) {
+	s := gapSeries()
+	tab := s.Table()
+	wantRows := [][]string{
+		{"a", "1.500", "1.000"},
+		{"b", "-", "-"},
+		{"c", "2.250", "-"},
+	}
+	if !reflect.DeepEqual(tab.Rows, wantRows) {
+		t.Errorf("series table rows = %q, want %q", tab.Rows, wantRows)
+	}
+	if csvOut := tab.CSV(); !strings.Contains(csvOut, "b,-,-") {
+		t.Errorf("CSV gap cells missing:\n%s", csvOut)
+	}
+	if md := tab.Markdown(); !strings.Contains(md, "| b | - | - |") {
+		t.Errorf("markdown gap cells missing:\n%s", md)
+	}
+	if strings.Contains(tab.Render(), "0.000") {
+		t.Errorf("gap rendered as a measured 0.000:\n%s", tab.Render())
+	}
+}
+
+func TestSeriesChartGolden(t *testing.T) {
+	s := report.NewSeries("BW", "stride", "GB/s", []string{"1", "4"})
+	s.Set("Vulkan", 0, 10)
+	s.Set("Vulkan", 1, math.NaN())
+	got := s.Chart(10)
+	want := "BW (GB/s, max 10.00)\n" +
+		"1\n" +
+		"  Vulkan   ########## 10.000\n" +
+		"4\n" +
+		"  Vulkan              -\n"
+	if got != want {
+		t.Errorf("Chart golden mismatch:\n--- got ---\n%q\n--- want ---\n%q", got, want)
+	}
+}
+
+func TestDocumentRenderIncludesMetricsAndExclusions(t *testing.T) {
+	d := &report.Document{ID: "fig4b", Title: "Mobile speedups"}
+	d.Series = append(d.Series, gapSeries())
+	d.AddMetric(report.MetricGeomeanSpeedup("Vulkan", "OpenCL"), "x", 0.88)
+	d.Excluded = append(d.Excluded, report.Exclusion{Benchmark: "cfd", API: "Vulkan", Reason: "dataset does not fit"})
+	d.Notes = append(d.Notes, "a note")
+
+	text := d.Render()
+	for _, want := range []string{
+		"== fig4b: Mobile speedups ==",
+		"metric: geomean-speedup/Vulkan-vs-OpenCL = 0.88x",
+		"excluded: cfd/Vulkan: dataset does not fit",
+		"note: a note",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q:\n%s", want, text)
+		}
+	}
+	md := d.Markdown()
+	for _, want := range []string{"## fig4b", "metric `geomean-speedup/Vulkan-vs-OpenCL` = 0.88x", "excluded cfd/Vulkan"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// TestDocumentCSVParses: multi-block document CSV must stay parseable block
+// by block (each block is one table).
+func TestDocumentCSVParses(t *testing.T) {
+	d := &report.Document{ID: "x", Title: "X", Tables: []*report.Table{commaTable()}}
+	d.Series = append(d.Series, gapSeries())
+	for i, block := range strings.Split(strings.TrimSpace(d.CSV()), "\n\n") {
+		r := csv.NewReader(strings.NewReader(block))
+		if _, err := r.ReadAll(); err != nil {
+			t.Errorf("CSV block %d does not parse: %v\n%s", i, err, block)
+		}
+	}
+}

@@ -93,14 +93,16 @@ func StdDev(xs []float64) (float64, error) {
 
 // DurationStats summarises repeated duration measurements of one quantity:
 // the mean the paper reports, plus the spread needed to judge whether the
-// repetition count was sufficient.
+// repetition count was sufficient. The JSON tags are part of the versioned
+// results schema (report.SchemaVersion): durations serialise as integer
+// nanoseconds.
 type DurationStats struct {
-	Mean   time.Duration
-	Min    time.Duration
-	Max    time.Duration
-	StdDev time.Duration
+	Mean   time.Duration `json:"mean_ns"`
+	Min    time.Duration `json:"min_ns"`
+	Max    time.Duration `json:"max_ns"`
+	StdDev time.Duration `json:"stddev_ns"`
 	// N is the number of measured samples (warm-up runs excluded).
-	N int
+	N int `json:"n"`
 }
 
 // SummarizeDurations computes mean, min, max and population standard

@@ -73,3 +73,16 @@ func Experiments() []Experiment { return experiments.All() }
 
 // ExperimentByID returns one experiment (e.g. "fig2a", "table1", "summary").
 func ExperimentByID(id string) (Experiment, error) { return experiments.ByID(id) }
+
+// ResultsSchemaVersion is the version of the JSON results schema produced by
+// EncodeResultsJSON (see internal/report/json.go for the version policy).
+const ResultsSchemaVersion = report.SchemaVersion
+
+// EncodeResultsJSON serialises experiment documents under the stable,
+// versioned JSON results schema (series gaps as null, durations as integer
+// nanoseconds).
+func EncodeResultsJSON(docs []*Document) ([]byte, error) { return report.EncodeJSON(docs) }
+
+// DecodeResultsJSON parses a results file produced by EncodeResultsJSON,
+// rejecting schema versions this build does not understand.
+func DecodeResultsJSON(data []byte) ([]*Document, error) { return report.DecodeJSON(data) }

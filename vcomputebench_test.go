@@ -64,5 +64,17 @@ func TestExperimentTablesRun(t *testing.T) {
 		if doc.Render() == "" {
 			t.Fatalf("%s rendered empty output", id)
 		}
+		// The public results codec must round-trip every document.
+		data, err := vcb.EncodeResultsJSON([]*vcb.Document{doc})
+		if err != nil {
+			t.Fatalf("%s: encoding results JSON: %v", id, err)
+		}
+		docs, err := vcb.DecodeResultsJSON(data)
+		if err != nil {
+			t.Fatalf("%s: decoding results JSON: %v", id, err)
+		}
+		if len(docs) != 1 || docs[0].ID != doc.ID {
+			t.Fatalf("%s: round trip lost the document", id)
+		}
 	}
 }
