@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race bench bench-tables results check clean
+.PHONY: all build vet test race bench bench-tables results check calibrate calibrate-sweep clean
 
 all: build vet test
 
@@ -39,6 +39,19 @@ results:
 # documented tolerances (internal/expected). Mirrors TestPaperFidelity.
 check:
 	$(GO) run ./cmd/vcbench -check all -reps 1
+
+# Per-benchmark Fig. 2/4 calibration error report for every platform: each
+# pinned speedup bar, figure geomean and bandwidth plateau with its relative
+# error against the paper. Run after any timing-model change.
+calibrate:
+	$(GO) run ./cmd/vcbench -calibrate all -reps 1
+
+# Deterministic driver-knob sweep proposing recalibrated internal/platforms
+# values for one platform (slow: each candidate re-runs the platform's
+# figures). Usage: make calibrate-sweep PLATFORM=gtx1050ti
+PLATFORM ?= gtx1050ti
+calibrate-sweep:
+	$(GO) run ./cmd/vcbench -calibrate $(PLATFORM) -sweep -reps 1
 
 clean:
 	rm -f vcbench

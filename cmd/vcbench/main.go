@@ -12,6 +12,8 @@
 //	vcbench -check all                    compare results against the paper's published values
 //	vcbench -check all -baseline out/     additionally diff against a previous JSON run
 //	vcbench -bench bfs -platform rx560    run one benchmark across its workloads and APIs
+//	vcbench -calibrate gtx1050ti          per-benchmark Fig. 2 calibration errors for a platform
+//	vcbench -calibrate rx560 -sweep       additionally sweep the driver knobs and propose values
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"path/filepath"
 	"runtime"
 
+	"vcomputebench/internal/calibrate"
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
@@ -39,6 +42,9 @@ func main() {
 		baseline    = flag.String("baseline", "", "baseline results JSON (a file from -format json, or a directory of <id>.json files) to diff against; used with -check")
 		baselineTol = flag.Float64("baseline-tol", 0, "relative tolerance for -baseline diffs (0 = exact; the simulator is deterministic)")
 		benchName   = flag.String("bench", "", "run a single benchmark by name")
+		calibrateID = flag.String("calibrate", "", "platform id (or 'all') to report per-benchmark calibration errors for")
+		doSweep     = flag.Bool("sweep", false, "with -calibrate: run the deterministic driver-knob sweep and print proposed platform values (slow)")
+		sweepPasses = flag.Int("sweep-passes", 1, "coordinate-descent passes of the -sweep")
 		platformID  = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
 		reps        = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
 		warmup      = flag.Int("warmup", 0, "warm-up runs per measurement, excluded from statistics")
@@ -58,7 +64,7 @@ func main() {
 		Seed:                *seed,
 	}
 	modes := 0
-	for _, set := range []bool{*list, *run != "", *check != "", *benchName != ""} {
+	for _, set := range []bool{*list, *run != "", *check != "", *benchName != "", *calibrateID != ""} {
 		if set {
 			modes++
 		}
@@ -66,7 +72,7 @@ func main() {
 	if modes > 1 {
 		// Silently picking one mode would let e.g. `-run all -check all`
 		// skip the fidelity check the user asked for.
-		fatal(errors.New("choose exactly one of -list, -run, -check or -bench"))
+		fatal(errors.New("choose exactly one of -list, -run, -check, -bench or -calibrate"))
 	}
 	switch {
 	case *list:
@@ -81,6 +87,10 @@ func main() {
 		}
 	case *benchName != "":
 		if err := runBenchmark(*benchName, *platformID, opts); err != nil {
+			fatal(err)
+		}
+	case *calibrateID != "":
+		if err := runCalibrate(*calibrateID, opts, *doSweep, *sweepPasses); err != nil {
 			fatal(err)
 		}
 	default:
@@ -271,6 +281,58 @@ func runCheck(id string, opts experiments.Options, baselinePath string, baseline
 	fmt.Printf("check: %d passed, %d failed\n", passed, failed)
 	if failed > 0 {
 		return fmt.Errorf("%d of %d checks failed", failed, passed+failed)
+	}
+	return nil
+}
+
+// runCalibrate prints the per-benchmark calibration error report for the
+// selected platform(s) and, with sweep, the deterministic driver-knob sweep's
+// proposed platform values. Any target outside its tolerance makes the
+// command exit 1 (after the full report), like -check.
+func runCalibrate(id string, opts experiments.Options, sweep bool, passes int) error {
+	var selected []*platforms.Platform
+	if id == "all" {
+		selected = platforms.All()
+	} else {
+		p, err := platforms.ByID(id)
+		if err != nil {
+			return err
+		}
+		selected = []*platforms.Platform{p}
+	}
+	failed := 0
+	for _, p := range selected {
+		if sweep {
+			res, err := calibrate.Sweep(p, calibrate.Options{
+				Experiments: opts,
+				Passes:      passes,
+				Progress:    os.Stderr,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Final)
+			fmt.Print(res)
+			for _, t := range res.Final.Targets {
+				if !t.Pass {
+					failed++
+				}
+			}
+			continue
+		}
+		rep, err := calibrate.Measure(p, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep)
+		for _, t := range rep.Targets {
+			if !t.Pass {
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d calibration targets outside tolerance", failed)
 	}
 	return nil
 }

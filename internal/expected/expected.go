@@ -7,9 +7,11 @@
 // Each metric carries its own relative tolerance. Tolerances are part of the
 // repo's fidelity contract: they document how closely the current calibration
 // reproduces each published value, and tightening them is the yardstick for
-// calibration work. The wide desktop-geomean tolerances record a known gap
-// (see the Note fields); they exist so the check still catches *regressions*
-// from today's fidelity while the gap is being closed.
+// calibration work. The desktop geomeans are calibrated per benchmark against
+// the pinned Fig. 2 bars (Fig2Bars) and held to 10%; the per-benchmark
+// calibration subsystem in internal/calibrate (vcbench -calibrate,
+// make calibrate) reports each bar's error and re-proposes platform values
+// after timing-model changes.
 package expected
 
 import (
@@ -35,6 +37,88 @@ type Metric struct {
 	Note string
 }
 
+// SpeedupBar is one per-benchmark bar of Figure 2: the Vulkan speedup over a
+// baseline API on one desktop platform's experiment, as the geometric mean of
+// the benchmark's workload speedups. Pinning the bars — not only the figure
+// geomeans — makes calibration error attributable to individual workloads:
+// `vcbench -calibrate` reports the per-bar relative errors, and the checker
+// fails any bar that drifts outside its tolerance.
+type SpeedupBar struct {
+	// Experiment is the figure the bar belongs to ("fig2a" or "fig2b").
+	Experiment string
+	Benchmark  string
+	// API and Baseline name the speedup's numerator and denominator APIs.
+	API      string
+	Baseline string
+	// Paper is the published bar height.
+	Paper float64
+	// RelTol is the allowed relative deviation of the measured bar.
+	RelTol float64
+}
+
+// Metric converts the bar into the Metric the checker consumes.
+func (b SpeedupBar) Metric() Metric {
+	return Metric{
+		Experiment: b.Experiment,
+		Name:       report.MetricBenchmarkSpeedup(b.Benchmark, b.API, b.Baseline),
+		Unit:       "x",
+		Paper:      b.Paper,
+		RelTol:     b.RelTol,
+	}
+}
+
+// Fig2Bars returns the per-benchmark Fig. 2 speedup bars for both desktop
+// platforms: Vulkan vs OpenCL and (on the NVIDIA card) Vulkan vs CUDA. The
+// bars carry the paper's qualitative structure — bfs is the one Vulkan
+// slowdown (the OpenCL compiler's local-memory promotion, §V-A2), iterative
+// many-dispatch workloads (pathfinder, gaussian) gain the most from Vulkan's
+// single-command-buffer submission, and the large single-dispatch workloads
+// (nn, backprop, cfd) gain only the kernel-level compiler/memory margin —
+// and their geometric means reproduce the published 1.66x/1.53x (GTX 1050
+// Ti) and 1.26x (RX 560) headline speedups.
+func Fig2Bars() []SpeedupBar {
+	vk, cl, cu := "Vulkan", "OpenCL", "CUDA"
+	const tol = 0.15
+	bar := func(exp, bench, api, baseline string, paper float64) SpeedupBar {
+		return SpeedupBar{Experiment: exp, Benchmark: bench, API: api, Baseline: baseline, Paper: paper, RelTol: tol}
+	}
+	return []SpeedupBar{
+		// Fig. 2a — GTX 1050 Ti, Vulkan vs OpenCL (bars geomean to the
+		// published 1.66x).
+		bar("fig2a", "bfs", vk, cl, 0.85),
+		bar("fig2a", "backprop", vk, cl, 1.35),
+		bar("fig2a", "cfd", vk, cl, 1.65),
+		bar("fig2a", "gaussian", vk, cl, 2.25),
+		bar("fig2a", "hotspot", vk, cl, 1.60),
+		bar("fig2a", "lud", vk, cl, 1.85),
+		bar("fig2a", "nn", vk, cl, 1.18),
+		bar("fig2a", "nw", vk, cl, 1.65),
+		bar("fig2a", "pathfinder", vk, cl, 3.80),
+		// Fig. 2a — GTX 1050 Ti, Vulkan vs CUDA (bars geomean to the
+		// published 1.53x).
+		bar("fig2a", "bfs", vk, cu, 0.75),
+		bar("fig2a", "backprop", vk, cu, 1.30),
+		bar("fig2a", "cfd", vk, cu, 1.60),
+		bar("fig2a", "gaussian", vk, cu, 2.05),
+		bar("fig2a", "hotspot", vk, cu, 1.50),
+		bar("fig2a", "lud", vk, cu, 1.60),
+		bar("fig2a", "nn", vk, cu, 1.12),
+		bar("fig2a", "nw", vk, cu, 1.52),
+		bar("fig2a", "pathfinder", vk, cu, 3.20),
+		// Fig. 2b — RX 560, Vulkan vs OpenCL (bars geomean to the published
+		// 1.26x).
+		bar("fig2b", "bfs", vk, cl, 0.65),
+		bar("fig2b", "backprop", vk, cl, 1.05),
+		bar("fig2b", "cfd", vk, cl, 1.20),
+		bar("fig2b", "gaussian", vk, cl, 1.70),
+		bar("fig2b", "hotspot", vk, cl, 1.25),
+		bar("fig2b", "lud", vk, cl, 1.32),
+		bar("fig2b", "nn", vk, cl, 1.05),
+		bar("fig2b", "nw", vk, cl, 1.16),
+		bar("fig2b", "pathfinder", vk, cl, 2.95),
+	}
+}
+
 // Exclusion is one Table IV gap the simulator must reproduce: the named
 // benchmark produced no result for the API (empty = every API) in the given
 // experiment. The check fails both when an expected exclusion is missing and
@@ -48,11 +132,12 @@ type Exclusion struct {
 // Metrics returns every published value with its tolerance, in paper order.
 func Metrics() []Metric {
 	const (
-		calNote     = "simulator calibration reproduces the speedup shape but undershoots the desktop geomean; tolerance tracks the open gap"
+		calNote     = "calibrated per benchmark against the Fig. 2 bars (see Fig2Bars and internal/calibrate); the tolerance is the enforced fidelity bound"
+		mobileNote  = "mobile calibration reproduces the speedup shape; tolerance tracks the remaining mobile gap"
 		plateauNote = "stride-1 plateau of the calibrated simulator; the paper publishes the achieved-bandwidth curves in this figure"
 	)
 	vk, cl, cu := "Vulkan", "OpenCL", "CUDA"
-	return []Metric{
+	ms := []Metric{
 		// Fig. 1a — GTX 1050 Ti strided bandwidth.
 		{Experiment: "fig1a", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 112, RelTol: 0},
 		{Experiment: "fig1a", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 82, RelTol: 0.10, Note: plateauNote},
@@ -61,9 +146,14 @@ func Metrics() []Metric {
 		{Experiment: "fig1b", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 112, RelTol: 0},
 		{Experiment: "fig1b", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 72.5, RelTol: 0.10, Note: plateauNote},
 		{Experiment: "fig1b", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 71.9, RelTol: 0.10, Note: plateauNote},
-		// Fig. 2 — desktop Rodinia geomeans (paper: 1.66x NVIDIA, 1.26x AMD vs OpenCL).
-		{Experiment: "fig2a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.40, Note: calNote},
-		{Experiment: "fig2b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.20, Note: calNote},
+		// Fig. 2 — desktop Rodinia geomeans (paper: 1.66x NVIDIA, 1.26x AMD vs
+		// OpenCL, 1.53x NVIDIA vs CUDA). The 0.10 tolerances are the closed
+		// calibration gap: the per-benchmark calibration subsystem brought the
+		// measured geomeans within 10% of the published values, and the check
+		// now enforces that instead of documenting its absence.
+		{Experiment: "fig2a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.10, Note: calNote},
+		{Experiment: "fig2a", Name: report.MetricGeomeanSpeedup(vk, cu), Unit: "x", Paper: 1.53, RelTol: 0.10, Note: calNote},
+		{Experiment: "fig2b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.10, Note: calNote},
 		// Fig. 3 — mobile strided bandwidth.
 		{Experiment: "fig3a", Name: report.MetricPeakBandwidth, Unit: "GB/s", Paper: 3.2, RelTol: 0},
 		{Experiment: "fig3a", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 2.6, RelTol: 0.15, Note: plateauNote},
@@ -72,16 +162,24 @@ func Metrics() []Metric {
 		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 1.8, RelTol: 0.15, Note: plateauNote},
 		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 2.2, RelTol: 0.15, Note: plateauNote},
 		// Fig. 4 — mobile Rodinia geomeans (paper: 1.59x Nexus, 0.83x Snapdragon).
-		{Experiment: "fig4a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: calNote},
+		{Experiment: "fig4a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: mobileNote},
 		{Experiment: "fig4b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
 		// Headline geomeans (abstract / §VII): 1.53x vs CUDA, 1.66x/1.26x vs
-		// OpenCL on desktop, 1.59x Nexus, 0.83x Snapdragon.
-		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cu), Unit: "x", Paper: 1.53, RelTol: 0.45, Note: calNote},
-		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.40, Note: calNote},
-		{Experiment: "summary", Name: report.MetricPlatformGeomean("rx560", vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.20, Note: calNote},
-		{Experiment: "summary", Name: report.MetricPlatformGeomean("powervr-g6430", vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: calNote},
+		// OpenCL on desktop, 1.59x Nexus, 0.83x Snapdragon. Desktop tolerances
+		// match the tightened Fig. 2 bounds.
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cu), Unit: "x", Paper: 1.53, RelTol: 0.10, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.10, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("rx560", vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.10, Note: calNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("powervr-g6430", vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: mobileNote},
 		{Experiment: "summary", Name: report.MetricPlatformGeomean("adreno506", vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
 	}
+	// The per-benchmark Fig. 2 bars are metrics like any other, so the
+	// checker, the fidelity test and the calibration error report all see
+	// them.
+	for _, b := range Fig2Bars() {
+		ms = append(ms, b.Metric())
+	}
+	return ms
 }
 
 // Exclusions returns the Table IV gaps per experiment: which benchmark/API

@@ -15,6 +15,7 @@ import (
 	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/report"
 	"vcomputebench/internal/rodinia/suite"
+	"vcomputebench/internal/stats"
 )
 
 // Options configures an experiment run.
@@ -166,51 +167,59 @@ func runTable3(opts Options) (*report.Document, error) {
 // figBandwidth builds the bandwidth-vs-stride experiment for one platform.
 func figBandwidth(id, platformID string, apis []hw.API) func(Options) (*report.Document, error) {
 	return func(opts Options) (*report.Document, error) {
-		opts = opts.defaults()
 		p, err := platforms.ByID(platformID)
 		if err != nil {
 			return nil, err
 		}
-		b, err := core.Get("membandwidth")
-		if err != nil {
-			return nil, err
-		}
-		workloads := b.Workloads(p.Profile.Class)
-		x := make([]string, len(workloads))
-		for i, w := range workloads {
-			x[i] = w.Label
-		}
-		series := report.NewSeries(
-			fmt.Sprintf("Memory bandwidth vs stride on %s", p.Profile.Name),
-			"stride (4-byte elements)", "GB/s", x)
-		runner := opts.Runner()
-		suiteRes, err := runner.RunSuite(p, []core.Benchmark{b}, apis)
-		if err != nil {
-			return nil, err
-		}
-		doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
-		doc.AddMetric(report.MetricPeakBandwidth, "GB/s", p.Profile.PeakBandwidthGBps)
-		for _, api := range apis {
-			var apiResults []*core.Result
-			for i, w := range workloads {
-				res, ok := suiteRes.Lookup(b.Name(), w.Label, api)
-				if !ok {
-					return nil, missingResultError(suiteRes, b.Name(), w.Label, api)
-				}
-				series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
-				apiResults = append(apiResults, res)
-			}
-			// The stride-1 plateau is the paper's "achieved bandwidth".
-			doc.AddMetric(report.MetricAchievedBandwidth(api.String()), "GB/s", series.Get(api.String(), 0))
-			doc.Results = append(doc.Results, apiResults...)
-			if note, ok := spreadNote(api, apiResults); ok {
-				doc.Notes = append(doc.Notes, note)
-			}
-		}
-		doc.Notes = append(doc.Notes,
-			fmt.Sprintf("theoretical peak bandwidth: %.1f GB/s", p.Profile.PeakBandwidthGBps))
-		return doc, nil
+		return BandwidthDocument(id, p, apis, opts)
 	}
+}
+
+// BandwidthDocument runs the bandwidth-vs-stride figure against an explicit
+// platform instance instead of a registered platform ID; the calibration
+// sweep uses it to guard the pinned Fig. 1/3 plateaus while candidate driver
+// profiles are evaluated.
+func BandwidthDocument(id string, p *platforms.Platform, apis []hw.API, opts Options) (*report.Document, error) {
+	opts = opts.defaults()
+	b, err := core.Get("membandwidth")
+	if err != nil {
+		return nil, err
+	}
+	workloads := b.Workloads(p.Profile.Class)
+	x := make([]string, len(workloads))
+	for i, w := range workloads {
+		x[i] = w.Label
+	}
+	series := report.NewSeries(
+		fmt.Sprintf("Memory bandwidth vs stride on %s", p.Profile.Name),
+		"stride (4-byte elements)", "GB/s", x)
+	runner := opts.Runner()
+	suiteRes, err := runner.RunSuite(p, []core.Benchmark{b}, apis)
+	if err != nil {
+		return nil, err
+	}
+	doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
+	doc.AddMetric(report.MetricPeakBandwidth, "GB/s", p.Profile.PeakBandwidthGBps)
+	for _, api := range apis {
+		var apiResults []*core.Result
+		for i, w := range workloads {
+			res, ok := suiteRes.Lookup(b.Name(), w.Label, api)
+			if !ok {
+				return nil, missingResultError(suiteRes, b.Name(), w.Label, api)
+			}
+			series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
+			apiResults = append(apiResults, res)
+		}
+		// The stride-1 plateau is the paper's "achieved bandwidth".
+		doc.AddMetric(report.MetricAchievedBandwidth(api.String()), "GB/s", series.Get(api.String(), 0))
+		doc.Results = append(doc.Results, apiResults...)
+		if note, ok := spreadNote(api, apiResults); ok {
+			doc.Notes = append(doc.Notes, note)
+		}
+	}
+	doc.Notes = append(doc.Notes,
+		fmt.Sprintf("theoretical peak bandwidth: %.1f GB/s", p.Profile.PeakBandwidthGBps))
+	return doc, nil
 }
 
 // missingResultError surfaces the exclusion that explains an absent suite
@@ -254,69 +263,121 @@ func spreadNote(api hw.API, results []*core.Result) (string, bool) {
 // excludes (Table IV) are explicit gaps, never a measured-looking 0.
 func figSpeedups(id, platformID string, apis []hw.API) func(Options) (*report.Document, error) {
 	return func(opts Options) (*report.Document, error) {
-		opts = opts.defaults()
 		p, err := platforms.ByID(platformID)
 		if err != nil {
 			return nil, err
 		}
-		benchmarks, err := suite.Rodinia()
-		if err != nil {
-			return nil, err
-		}
-		ordered, unranked := orderBenchmarks(benchmarks)
-		runner := opts.Runner()
-		suiteRes, err := runner.RunSuite(p, ordered, apis)
-		if err != nil {
-			return nil, err
-		}
-		baseline := apis[0]
-
-		var x []string
-		type cell struct{ bench, workload string }
-		var cells []cell
-		for _, b := range ordered {
-			for _, w := range b.Workloads(p.Profile.Class) {
-				x = append(x, b.Name()+"/"+w.Label)
-				cells = append(cells, cell{b.Name(), w.Label})
-			}
-		}
-		series := report.NewSeries(
-			fmt.Sprintf("Speedup vs %s on %s (kernel times)", baseline.String(), p.Profile.Name),
-			"benchmark/workload", "speedup", x)
-		doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
-		for _, api := range apis {
-			var apiResults []*core.Result
-			for i, c := range cells {
-				if sp, ok := suiteRes.Speedup(c.bench, c.workload, api, baseline); ok {
-					series.Set(api.String(), i, sp)
-				} else {
-					series.Set(api.String(), i, math.NaN())
-				}
-				if res, ok := suiteRes.Lookup(c.bench, c.workload, api); ok {
-					apiResults = append(apiResults, res)
-				}
-			}
-			doc.Results = append(doc.Results, apiResults...)
-			if note, ok := spreadNote(api, apiResults); ok {
-				doc.Notes = append(doc.Notes, note)
-			}
-		}
-		for _, api := range apis[1:] {
-			if g, err := suiteRes.GeoMeanSpeedup(api, baseline); err == nil {
-				doc.AddMetric(report.MetricGeomeanSpeedup(api.String(), baseline.String()), "x", g)
-			}
-		}
-		for _, skip := range suiteRes.Skipped {
-			doc.Excluded = append(doc.Excluded, report.Exclusion{
-				Benchmark: skip.Benchmark, API: skip.API.String(), Reason: skip.Reason,
-			})
-		}
-		for _, name := range unranked {
-			doc.Notes = append(doc.Notes,
-				fmt.Sprintf("benchmark %s is not in the paper's figure order; plotted after the ranked benchmarks", name))
-		}
-		return doc, nil
+		return SpeedupDocument(id, p, apis, opts)
 	}
+}
+
+// SpeedupDocument runs the Rodinia speedup figure against an explicit
+// platform instance instead of a registered platform ID. The calibration
+// sweep uses it to evaluate candidate driver profiles without mutating the
+// canonical platforms.
+func SpeedupDocument(id string, p *platforms.Platform, apis []hw.API, opts Options) (*report.Document, error) {
+	opts = opts.defaults()
+	benchmarks, err := suite.Rodinia()
+	if err != nil {
+		return nil, err
+	}
+	ordered, unranked := orderBenchmarks(benchmarks)
+	runner := opts.Runner()
+	suiteRes, err := runner.RunSuite(p, ordered, apis)
+	if err != nil {
+		return nil, err
+	}
+	baseline := apis[0]
+
+	var x []string
+	type cell struct{ bench, workload string }
+	var cells []cell
+	for _, b := range ordered {
+		for _, w := range b.Workloads(p.Profile.Class) {
+			x = append(x, b.Name()+"/"+w.Label)
+			cells = append(cells, cell{b.Name(), w.Label})
+		}
+	}
+	series := report.NewSeries(
+		fmt.Sprintf("Speedup vs %s on %s (kernel times)", baseline.String(), p.Profile.Name),
+		"benchmark/workload", "speedup", x)
+	doc := &report.Document{ID: id, Title: series.Title, Series: []*report.Series{series}}
+	for _, api := range apis {
+		var apiResults []*core.Result
+		for i, c := range cells {
+			if sp, ok := suiteRes.Speedup(c.bench, c.workload, api, baseline); ok {
+				series.Set(api.String(), i, sp)
+			} else {
+				series.Set(api.String(), i, math.NaN())
+			}
+			if res, ok := suiteRes.Lookup(c.bench, c.workload, api); ok {
+				apiResults = append(apiResults, res)
+			}
+		}
+		doc.Results = append(doc.Results, apiResults...)
+		if note, ok := spreadNote(api, apiResults); ok {
+			doc.Notes = append(doc.Notes, note)
+		}
+	}
+	for _, api := range apis[1:] {
+		if g, err := suiteRes.GeoMeanSpeedup(api, baseline); err == nil {
+			doc.AddMetric(report.MetricGeomeanSpeedup(api.String(), baseline.String()), "x", g)
+		}
+	}
+	// Vulkan's geomean against the non-baseline APIs (vs CUDA on the NVIDIA
+	// card): the paper quotes it as a headline number, and the calibration
+	// subsystem reads every desktop target off this one document.
+	for _, against := range apis[1:] {
+		if against == hw.APIVulkan {
+			continue
+		}
+		if g, err := suiteRes.GeoMeanSpeedup(hw.APIVulkan, against); err == nil {
+			doc.AddMetric(report.MetricGeomeanSpeedup(hw.APIVulkan.String(), against.String()), "x", g)
+		}
+	}
+	// Per-benchmark bars: Vulkan against every other API present (the
+	// paper's Fig. 2 shows Vulkan vs OpenCL and, on NVIDIA, vs CUDA), so
+	// calibration error is attributable to individual workloads.
+	for _, against := range apis {
+		if against == hw.APIVulkan {
+			continue
+		}
+		for _, b := range ordered {
+			if g, ok := benchmarkSpeedup(suiteRes, b, p.Profile.Class, hw.APIVulkan, against); ok {
+				doc.AddMetric(report.MetricBenchmarkSpeedup(b.Name(), hw.APIVulkan.String(), against.String()), "x", g)
+			}
+		}
+	}
+	for _, skip := range suiteRes.Skipped {
+		doc.Excluded = append(doc.Excluded, report.Exclusion{
+			Benchmark: skip.Benchmark, API: skip.API.String(), Reason: skip.Reason,
+		})
+	}
+	for _, name := range unranked {
+		doc.Notes = append(doc.Notes,
+			fmt.Sprintf("benchmark %s is not in the paper's figure order; plotted after the ranked benchmarks", name))
+	}
+	return doc, nil
+}
+
+// benchmarkSpeedup computes one Fig. 2/4 bar: the geometric mean of the
+// benchmark's per-workload speedups of api over baseline. Excluded benchmarks
+// (Table IV) yield no bar rather than a fake value.
+func benchmarkSpeedup(s *core.SuiteResult, b core.Benchmark, class hw.Class, api, baseline hw.API) (float64, bool) {
+	var xs []float64
+	for _, w := range b.Workloads(class) {
+		if sp, ok := s.Speedup(b.Name(), w.Label, api, baseline); ok && sp > 0 {
+			xs = append(xs, sp)
+		}
+	}
+	if len(xs) == 0 {
+		return 0, false
+	}
+	g, err := stats.GeoMean(xs)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
 }
 
 // orderBenchmarks sorts benchmarks into the x-axis order of Figures 2 and 4.

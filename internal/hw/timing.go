@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"math"
 	"time"
 
 	"vcomputebench/internal/kernels"
@@ -10,21 +11,93 @@ import (
 // workgroup-local (shared/LDS) memory bandwidth.
 const localMemBandwidthFactor = 4.0
 
+// Traffic is the effective memory-traffic model of one dispatch. It is
+// computed once by EffectiveTraffic and shared by KernelDuration and
+// AchievedBandwidthGBps, so the durations of the timing model and the
+// bandwidths plotted in Figures 1 and 3 always derive from the same byte
+// volumes — previously the duration applied local-memory promotion and
+// coalescing to the traffic while the bandwidth divided raw useful bytes by
+// the resulting time, silently mixing two models.
+type Traffic struct {
+	// UsefulBytes is the byte volume the kernel itself requested; it is the
+	// application-visible numerator of achieved bandwidth.
+	UsefulBytes float64
+	// BusBytes is the byte volume crossing the memory bus after local-memory
+	// promotion removed staged loads and coalescing inflated the remainder.
+	BusBytes float64
+	// LocalBytes is the workgroup-local (shared/LDS) byte volume, including
+	// load traffic the driver's promotion pass re-routed through local memory.
+	LocalBytes float64
+	// Coalescing is the sampled useful/transaction byte ratio in (0, 1].
+	Coalescing float64
+	// Efficiency is the achievable fraction of peak bandwidth for this access
+	// pattern, interpolated between the driver's scattered and well-coalesced
+	// efficiencies by the observed coalescing.
+	Efficiency float64
+	// Promoted reports whether the driver's local-memory promotion applied
+	// (the paper's OpenCL bfs ISA finding).
+	Promoted bool
+}
+
+// EffectiveTraffic derives the traffic model of one dispatch from its
+// execution counters under the given driver.
+//
+// Local-memory promotion (LocalMemoryAutoOpt on kernels marked as candidates)
+// stages repeated global *loads* in workgroup-local memory: only
+// LocalMemoryOptFactor of the load traffic still reaches the bus, and the
+// staged remainder is charged to the local-memory side instead. Store traffic
+// is never reduced — a staging pass cannot elide writes — which the previous
+// model got wrong by scaling the whole byte volume.
+func EffectiveTraffic(drv *DriverProfile, prog *kernels.Program, c *kernels.Counters) Traffic {
+	t := Traffic{Coalescing: 1, Efficiency: 1}
+	if c == nil {
+		return t
+	}
+	t.UsefulBytes = c.GlobalBytes()
+	t.LocalBytes = c.LocalBytes
+	t.Coalescing = c.CoalescingEfficiency()
+
+	busBytes := t.UsefulBytes
+	if prog != nil && prog.LocalMemCandidate && drv.LocalMemoryAutoOpt && drv.LocalMemoryOptFactor > 0 {
+		t.Promoted = true
+		busBytes = c.GlobalLoadBytes*drv.LocalMemoryOptFactor + c.GlobalStoreBytes
+		t.LocalBytes += c.GlobalLoadBytes * (1 - drv.LocalMemoryOptFactor)
+	}
+
+	eff := drv.MemoryEfficiency
+	if drv.ScatteredMemoryEfficiency > 0 {
+		eff = drv.ScatteredMemoryEfficiency + (drv.MemoryEfficiency-drv.ScatteredMemoryEfficiency)*t.Coalescing
+	}
+	if eff <= 0 {
+		eff = 1
+	}
+	t.Efficiency = eff
+
+	t.BusBytes = busBytes
+	if t.Coalescing > 0 {
+		t.BusBytes = busBytes / t.Coalescing
+	}
+	return t
+}
+
 // KernelDuration converts the execution counters of one dispatch into
 // simulated device time for the given device and driver.
 //
 // The model is a classic roofline with launch costs:
 //
-//	t = dispatchLatency + workgroupScheduling + max(computeTime, memoryTime, localTime)
+//	t = dispatchLatency + max(computeTime, memoryTime, localTime, schedulingTime)
 //
 // where memory time accounts for the coalescing efficiency observed on sampled
 // warps, the driver's achievable-bandwidth efficiencies, and the
 // local-memory-promotion optimisation applied by mature compilers to marked
-// kernels (the paper's bfs ISA finding).
+// kernels (the paper's bfs ISA finding). All byte volumes come from
+// EffectiveTraffic, the same model AchievedBandwidthGBps reports against.
 func KernelDuration(p *Profile, drv *DriverProfile, prog *kernels.Program, c *kernels.Counters) time.Duration {
 	if c == nil {
 		return 0
 	}
+	tr := EffectiveTraffic(drv, prog, c)
+
 	// Compute side.
 	throughput := float64(p.ComputeUnits) * float64(p.ALUsPerCU) * float64(p.CoreClockMHz) * 1e6
 	if drv.CompilerEfficiency > 0 {
@@ -36,31 +109,15 @@ func KernelDuration(p *Profile, drv *DriverProfile, prog *kernels.Program, c *ke
 	}
 
 	// Global memory side.
-	globalBytes := c.GlobalBytes()
-	if prog != nil && prog.LocalMemCandidate && drv.LocalMemoryAutoOpt && drv.LocalMemoryOptFactor > 0 {
-		globalBytes *= drv.LocalMemoryOptFactor
-	}
-	coal := c.CoalescingEfficiency()
-	memEff := drv.MemoryEfficiency
-	if drv.ScatteredMemoryEfficiency > 0 {
-		memEff = drv.ScatteredMemoryEfficiency + (drv.MemoryEfficiency-drv.ScatteredMemoryEfficiency)*coal
-	}
-	if memEff <= 0 {
-		memEff = 1
-	}
-	bytesMoved := globalBytes
-	if coal > 0 {
-		bytesMoved = globalBytes / coal
-	}
 	memSec := 0.0
 	if p.PeakBandwidthGBps > 0 {
-		memSec = bytesMoved / (p.PeakBandwidthGBps * 1e9 * memEff)
+		memSec = tr.BusBytes / (p.PeakBandwidthGBps * 1e9 * tr.Efficiency)
 	}
 
 	// Local (shared) memory side.
 	localSec := 0.0
-	if c.LocalOps > 0 && p.PeakBandwidthGBps > 0 {
-		localSec = c.LocalOps * 4 / (p.PeakBandwidthGBps * 1e9 * localMemBandwidthFactor)
+	if tr.LocalBytes > 0 && p.PeakBandwidthGBps > 0 {
+		localSec = tr.LocalBytes / (p.PeakBandwidthGBps * 1e9 * localMemBandwidthFactor)
 	}
 
 	// Workgroup scheduling: real GPUs overlap workgroup launch with execution,
@@ -85,9 +142,12 @@ func KernelDuration(p *Profile, drv *DriverProfile, prog *kernels.Program, c *ke
 }
 
 // TransferDuration returns the simulated time to move n bytes between host and
-// device memory (or between heaps on a unified-memory device).
+// device memory. Unified-memory devices (the paper's mobile platforms) move no
+// data at all — host and device share one heap — so a "transfer" there costs
+// only the mapping/cache-maintenance latency, never bus time; previously the
+// bandwidth fallback charged them PeakBandwidthGBps/2 like a discrete GPU.
 func TransferDuration(p *Profile, n int64) time.Duration {
-	if n <= 0 {
+	if n <= 0 || p.UnifiedMemory {
 		return p.TransferLatency
 	}
 	gbps := p.TransferGBps
@@ -99,18 +159,32 @@ func TransferDuration(p *Profile, n int64) time.Duration {
 }
 
 // AchievedBandwidthGBps computes the application-visible bandwidth of a
-// dispatch: useful bytes divided by total kernel time, in GB/s. It is the
-// quantity plotted in Figures 1 and 3.
-func AchievedBandwidthGBps(c *kernels.Counters, kernelTime time.Duration) float64 {
+// dispatch: the traffic model's useful bytes divided by total kernel time, in
+// GB/s — the same useful-bytes-over-time quantity the membandwidth
+// microbenchmark reports for Figures 1 and 3 (which counts its useful bytes
+// at the application level by design). It takes the same Traffic that sized
+// the kernel duration, so a per-dispatch bandwidth can never mix a different
+// traffic model into the numerator than the duration in the denominator.
+func AchievedBandwidthGBps(t Traffic, kernelTime time.Duration) float64 {
 	if kernelTime <= 0 {
 		return 0
 	}
-	return c.GlobalBytes() / kernelTime.Seconds() / 1e9
+	return t.UsefulBytes / kernelTime.Seconds() / 1e9
 }
 
+// secondsToDuration converts a non-negative seconds value into a
+// time.Duration, saturating at the maximum representable duration instead of
+// letting the float64→int64 conversion wrap a pathological counter set (huge
+// seconds) into a negative duration. NaN — a corrupted counter set — is
+// rejected as zero like any other invalid input, since the conversion of NaN
+// to int64 is implementation-defined and wraps negative on amd64.
 func secondsToDuration(s float64) time.Duration {
-	if s <= 0 {
+	if math.IsNaN(s) || s <= 0 {
 		return 0
 	}
-	return time.Duration(s * float64(time.Second))
+	ns := s * float64(time.Second)
+	if ns >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
 }

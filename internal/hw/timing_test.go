@@ -1,0 +1,241 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"vcomputebench/internal/kernels"
+)
+
+// timingProfile is a round-number device so every roofline regime has an
+// easily hand-checked expected duration: 100 GFLOP/s of compute throughput,
+// 100 GB/s of peak bandwidth (400 GB/s local), 1 µs of workgroup scheduling
+// per 1000 workgroups and no fixed dispatch latency.
+func timingProfile() Profile {
+	return Profile{
+		Name:                    "timing-test",
+		ComputeUnits:            10,
+		ALUsPerCU:               100,
+		CoreClockMHz:            100, // 10*100*100e6 = 1e11 ops/s
+		WarpSize:                32,
+		PeakBandwidthGBps:       100,
+		CacheLineBytes:          128,
+		DeviceMemBytes:          1 << 30,
+		WorkgroupLaunchOverhead: 10 * time.Nanosecond,
+	}
+}
+
+// perfectDriver has unit efficiencies so durations equal the raw roofline.
+func perfectDriver() DriverProfile {
+	return DriverProfile{
+		Supported:          true,
+		CompilerEfficiency: 1,
+		MemoryEfficiency:   1,
+	}
+}
+
+// TestKernelDurationRegimes drives one counter set per roofline regime and
+// checks the regime's term sets the duration.
+func TestKernelDurationRegimes(t *testing.T) {
+	p := timingProfile()
+	cases := []struct {
+		name string
+		c    kernels.Counters
+		want time.Duration
+	}{
+		{
+			// 1e8 ALU ops at 1e11 ops/s = 1 ms; negligible memory traffic.
+			name: "compute-bound",
+			c:    kernels.Counters{ALUOps: 1e8, GlobalLoadBytes: 1e3},
+			want: time.Millisecond,
+		},
+		{
+			// 1e8 coalesced bytes at 100 GB/s = 1 ms; negligible compute.
+			name: "memory-bound",
+			c:    kernels.Counters{ALUOps: 1e3, GlobalLoadBytes: 1e8},
+			want: time.Millisecond,
+		},
+		{
+			// 4e8 local bytes at 400 GB/s = 1 ms.
+			name: "local-bound",
+			c:    kernels.Counters{LocalOps: 1e8, LocalBytes: 4e8},
+			want: time.Millisecond,
+		},
+		{
+			// 1e6 workgroups / 10 CUs * 10 ns = 1 ms.
+			name: "scheduling-bound",
+			c:    kernels.Counters{Workgroups: 1e6, ALUOps: 1e3},
+			want: time.Millisecond,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			drv := perfectDriver()
+			got := KernelDuration(&p, &drv, nil, &tc.c)
+			if relDiff(got, tc.want) > 1e-3 {
+				t.Fatalf("KernelDuration = %v, want ~%v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestKernelDurationScatteredInterpolation checks the memory efficiency is
+// interpolated between the scattered and coalesced efficiencies by the
+// sampled coalescing factor, and that the transaction inflation divides the
+// byte volume by the same factor.
+func TestKernelDurationScatteredInterpolation(t *testing.T) {
+	p := timingProfile()
+	drv := DriverProfile{
+		Supported:                 true,
+		CompilerEfficiency:        1,
+		MemoryEfficiency:          0.8,
+		ScatteredMemoryEfficiency: 0.4,
+	}
+	base := kernels.Counters{GlobalLoadBytes: 1e8}
+
+	// Fully coalesced: eff = 0.8, no inflation -> 1e8 / (100e9*0.8) = 1.25 ms.
+	coalesced := base
+	coalesced.SampledUsefulBytes = 128
+	coalesced.SampledTransactionBytes = 128
+	if got, want := KernelDuration(&p, &drv, nil, &coalesced), 1250*time.Microsecond; relDiff(got, want) > 1e-3 {
+		t.Fatalf("coalesced duration = %v, want ~%v", got, want)
+	}
+
+	// Half coalesced: eff = 0.4 + 0.4*0.5 = 0.6, bytes inflated 2x ->
+	// 2e8 / (100e9*0.6) = 10/3 ms.
+	half := base
+	half.SampledUsefulBytes = 64
+	half.SampledTransactionBytes = 128
+	ms := float64(time.Millisecond)
+	wantHalf := time.Duration(ms * 10 / 3)
+	if got, want := KernelDuration(&p, &drv, nil, &half), wantHalf; relDiff(got, want) > 1e-3 {
+		t.Fatalf("half-coalesced duration = %v, want ~%v", got, want)
+	}
+}
+
+// TestEffectiveTrafficPromotion checks the local-memory promotion path:
+// load traffic is scaled by LocalMemoryOptFactor and re-routed to the local
+// side, store traffic is untouched, and the promotion only applies to marked
+// kernels under drivers that implement it.
+func TestEffectiveTrafficPromotion(t *testing.T) {
+	drv := DriverProfile{
+		Supported:            true,
+		CompilerEfficiency:   1,
+		MemoryEfficiency:     1,
+		LocalMemoryAutoOpt:   true,
+		LocalMemoryOptFactor: 0.25,
+	}
+	c := kernels.Counters{GlobalLoadBytes: 8e7, GlobalStoreBytes: 2e7}
+	candidate := &kernels.Program{Name: "promoted", LocalMemCandidate: true}
+
+	tr := EffectiveTraffic(&drv, candidate, &c)
+	if !tr.Promoted {
+		t.Fatal("candidate kernel not promoted")
+	}
+	if want := 8e7*0.25 + 2e7; tr.BusBytes != want {
+		t.Fatalf("promoted BusBytes = %g, want %g (stores must not be scaled)", tr.BusBytes, want)
+	}
+	if want := 8e7 * 0.75; tr.LocalBytes != want {
+		t.Fatalf("promoted LocalBytes = %g, want %g (staged loads)", tr.LocalBytes, want)
+	}
+	if tr.UsefulBytes != 1e8 {
+		t.Fatalf("UsefulBytes = %g, want 1e8 (app-visible volume is unchanged)", tr.UsefulBytes)
+	}
+
+	// Unmarked kernel: no promotion.
+	plain := EffectiveTraffic(&drv, &kernels.Program{Name: "plain"}, &c)
+	if plain.Promoted || plain.BusBytes != 1e8 {
+		t.Fatalf("unmarked kernel promoted: %+v", plain)
+	}
+	// Driver without the optimisation: no promotion.
+	noOpt := drv
+	noOpt.LocalMemoryAutoOpt = false
+	vk := EffectiveTraffic(&noOpt, candidate, &c)
+	if vk.Promoted || vk.BusBytes != 1e8 {
+		t.Fatalf("promotion applied without LocalMemoryAutoOpt: %+v", vk)
+	}
+}
+
+// TestKernelDurationSharesTraffic checks KernelDuration and
+// AchievedBandwidthGBps agree on the traffic model: a promoted kernel's
+// achieved bandwidth (useful bytes over its own duration) can exceed the bus
+// efficiency because both sides come from the same Traffic.
+func TestKernelDurationSharesTraffic(t *testing.T) {
+	p := timingProfile()
+	p.WorkgroupLaunchOverhead = 0
+	drv := perfectDriver()
+	drv.LocalMemoryAutoOpt = true
+	drv.LocalMemoryOptFactor = 0.5
+	prog := &kernels.Program{Name: "promoted", LocalMemCandidate: true}
+	c := kernels.Counters{GlobalLoadBytes: 1e8}
+
+	tr := EffectiveTraffic(&drv, prog, &c)
+	d := KernelDuration(&p, &drv, prog, &c)
+	// Bus traffic halved -> 0.5 ms at 100 GB/s; achieved bandwidth of the
+	// useful 1e8 bytes over that time is 200 GB/s.
+	if want := 500 * time.Microsecond; relDiff(d, want) > 1e-3 {
+		t.Fatalf("promoted duration = %v, want ~%v", d, want)
+	}
+	if bw := AchievedBandwidthGBps(tr, d); math.Abs(bw-200) > 0.5 {
+		t.Fatalf("achieved bandwidth = %g GB/s, want ~200", bw)
+	}
+	if bw := AchievedBandwidthGBps(tr, 0); bw != 0 {
+		t.Fatalf("achieved bandwidth with zero time = %g, want 0", bw)
+	}
+}
+
+// TestSecondsToDurationOverflow is the regression test for the silent
+// time.Duration wrap: a pathological counter set used to produce a negative
+// duration through the float64 -> int64 conversion; it must saturate instead.
+func TestSecondsToDurationOverflow(t *testing.T) {
+	if got := secondsToDuration(1e30); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("secondsToDuration(1e30) = %v, want MaxInt64 saturation", got)
+	}
+	if got := secondsToDuration(-1); got != 0 {
+		t.Fatalf("secondsToDuration(-1) = %v, want 0", got)
+	}
+	// NaN would skip both guards (NaN compares false) and wrap negative
+	// through the float->int conversion; it must be rejected as zero.
+	if got := secondsToDuration(math.NaN()); got != 0 {
+		t.Fatalf("secondsToDuration(NaN) = %v, want 0", got)
+	}
+
+	// End to end: a device driven with an absurd byte volume must still report
+	// a positive (saturated) kernel time.
+	p := timingProfile()
+	drv := perfectDriver()
+	c := kernels.Counters{GlobalLoadBytes: 1e30}
+	if got := KernelDuration(&p, &drv, nil, &c); got <= 0 {
+		t.Fatalf("KernelDuration with huge counters = %v, want positive saturation", got)
+	}
+}
+
+// TestTransferDurationUnifiedMemory checks unified-memory devices pay only the
+// mapping latency — never bus time, and in particular never the discrete-GPU
+// PeakBandwidthGBps/2 fallback.
+func TestTransferDurationUnifiedMemory(t *testing.T) {
+	p := timingProfile()
+	p.TransferLatency = 20 * time.Microsecond
+
+	// Discrete device without TransferGBps: the fallback charges half the
+	// peak bandwidth -> 1e8 bytes at 50 GB/s = 2 ms.
+	if got, want := TransferDuration(&p, 1e8), p.TransferLatency+2*time.Millisecond; relDiff(got, want) > 1e-3 {
+		t.Fatalf("discrete fallback transfer = %v, want ~%v", got, want)
+	}
+
+	// The same device with unified memory moves no data at any size.
+	p.UnifiedMemory = true
+	for _, n := range []int64{0, 4, 1e8} {
+		if got := TransferDuration(&p, n); got != p.TransferLatency {
+			t.Fatalf("unified-memory transfer of %d bytes = %v, want latency-only %v", n, got, p.TransferLatency)
+		}
+	}
+}
+
+func relDiff(got, want time.Duration) float64 {
+	if want == 0 {
+		return math.Abs(float64(got))
+	}
+	return math.Abs(float64(got-want)) / math.Abs(float64(want))
+}

@@ -24,6 +24,10 @@ type Counters struct {
 	// LocalOps counts shared (workgroup-local) memory accesses reported by the
 	// kernel.
 	LocalOps float64
+	// LocalBytes is the byte volume of the above accesses. The dispatch engine
+	// records it at the access width the kernel used, so the timing model does
+	// not have to assume a word size.
+	LocalBytes float64
 	// SharedBytesPerGroup is the maximum shared memory footprint requested by
 	// any workgroup.
 	SharedBytesPerGroup float64
@@ -75,6 +79,7 @@ func (c *Counters) Add(other *Counters) {
 	c.GlobalLoadBytes += other.GlobalLoadBytes
 	c.GlobalStoreBytes += other.GlobalStoreBytes
 	c.LocalOps += other.LocalOps
+	c.LocalBytes += other.LocalBytes
 	if other.SharedBytesPerGroup > c.SharedBytesPerGroup {
 		c.SharedBytesPerGroup = other.SharedBytesPerGroup
 	}
@@ -105,6 +110,7 @@ func (c *Counters) Scale(f float64) {
 	c.GlobalLoadBytes *= f
 	c.GlobalStoreBytes *= f
 	c.LocalOps *= f
+	c.LocalBytes *= f
 	c.Barriers *= f
 }
 

@@ -328,6 +328,10 @@ func (wg *Workgroup) flushAccums() {
 	}
 	if wg.accLocal != 0 {
 		c.LocalOps += float64(wg.accLocal)
+		// Every shared array the kernel API exposes (SharedF32/SharedI32) is
+		// 32-bit typed, so LocalOp accesses are 4 bytes wide; the byte counter
+		// lets the timing model stay width-agnostic.
+		c.LocalBytes += float64(wg.accLocal * 4)
 		wg.accLocal = 0
 	}
 }

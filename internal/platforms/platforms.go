@@ -5,10 +5,15 @@
 //
 // The hardware numbers (compute units, clocks, memory configuration, peak
 // bandwidth) come from the public specifications the paper quotes; the driver
-// overhead and efficiency numbers are calibrated so the published achieved
-// bandwidths and speedup shapes are reproduced by the simulator. Every
-// calibrated value is a field on hw.Profile / hw.DriverProfile so it can be
-// inspected, sweeped and unit-tested.
+// overhead and efficiency numbers are calibrated per benchmark so the
+// simulator reproduces the published Fig. 1/3 achieved bandwidths, the
+// per-benchmark Fig. 2 speedup bars pinned in internal/expected, and the
+// headline geomeans within the tolerances TestPaperFidelity enforces (10% on
+// the desktop geomeans). Every calibrated value is a field on hw.Profile /
+// hw.DriverProfile so it can be inspected, swept and unit-tested;
+// `vcbench -calibrate <platform>` reports each target's current error and
+// `-sweep` proposes recalibrated values after timing-model changes
+// (internal/calibrate).
 package platforms
 
 import (
@@ -98,17 +103,17 @@ func GTX1050Ti() *Platform {
 				hw.APICUDA: {
 					Supported:                 true,
 					Version:                   "CUDA 8.0",
-					KernelLaunchOverhead:      9 * time.Microsecond,
-					SyncLatency:               12 * time.Microsecond,
+					KernelLaunchOverhead:      17 * time.Microsecond,
+					SyncLatency:               22 * time.Microsecond,
 					SubmitOverhead:            4 * time.Microsecond,
 					PipelineBindOverhead:      1500 * time.Nanosecond,
 					DescriptorUpdateOverhead:  400 * time.Nanosecond,
 					PushConstantOverhead:      300 * time.Nanosecond,
 					CompilerEfficiency:        0.92,
 					MemoryEfficiency:          0.84,
-					ScatteredMemoryEfficiency: 0.42,
+					ScatteredMemoryEfficiency: 0.385,
 					LocalMemoryAutoOpt:        true,
-					LocalMemoryOptFactor:      0.55,
+					LocalMemoryOptFactor:      0.60,
 					JITCompileTime:            0,
 					PipelineCreateTime:        90 * time.Microsecond,
 					AllocOverhead:             60 * time.Microsecond,
@@ -117,17 +122,17 @@ func GTX1050Ti() *Platform {
 				hw.APIOpenCL: {
 					Supported:                 true,
 					Version:                   "OpenCL 1.2",
-					KernelLaunchOverhead:      13 * time.Microsecond,
-					SyncLatency:               18 * time.Microsecond,
+					KernelLaunchOverhead:      22 * time.Microsecond,
+					SyncLatency:               28 * time.Microsecond,
 					SubmitOverhead:            5 * time.Microsecond,
 					PipelineBindOverhead:      1800 * time.Nanosecond,
 					DescriptorUpdateOverhead:  500 * time.Nanosecond,
 					PushConstantOverhead:      500 * time.Nanosecond,
 					CompilerEfficiency:        0.88,
 					MemoryEfficiency:          0.82,
-					ScatteredMemoryEfficiency: 0.40,
+					ScatteredMemoryEfficiency: 0.37,
 					LocalMemoryAutoOpt:        true,
-					LocalMemoryOptFactor:      0.55,
+					LocalMemoryOptFactor:      0.60,
 					JITCompileTime:            42 * time.Millisecond,
 					PipelineCreateTime:        120 * time.Microsecond,
 					AllocOverhead:             70 * time.Microsecond,
@@ -146,7 +151,7 @@ func GTX1050Ti() *Platform {
 					PushConstantOverhead:      150 * time.Nanosecond,
 					CompilerEfficiency:        0.90,
 					MemoryEfficiency:          0.796,
-					ScatteredMemoryEfficiency: 0.46,
+					ScatteredMemoryEfficiency: 0.64,
 					LocalMemoryAutoOpt:        false,
 					JITCompileTime:            0,
 					PipelineCreateTime:        160 * time.Microsecond,
@@ -196,8 +201,8 @@ func RX560() *Platform {
 				hw.APIOpenCL: {
 					Supported:                 true,
 					Version:                   "OpenCL 2.0",
-					KernelLaunchOverhead:      14 * time.Microsecond,
-					SyncLatency:               20 * time.Microsecond,
+					KernelLaunchOverhead:      17600 * time.Nanosecond,
+					SyncLatency:               23 * time.Microsecond,
 					SubmitOverhead:            6 * time.Microsecond,
 					PipelineBindOverhead:      2000 * time.Nanosecond,
 					DescriptorUpdateOverhead:  500 * time.Nanosecond,
@@ -206,7 +211,7 @@ func RX560() *Platform {
 					MemoryEfficiency:          0.715,
 					ScatteredMemoryEfficiency: 0.37,
 					LocalMemoryAutoOpt:        true,
-					LocalMemoryOptFactor:      0.55,
+					LocalMemoryOptFactor:      0.62,
 					JITCompileTime:            55 * time.Millisecond,
 					PipelineCreateTime:        140 * time.Microsecond,
 					AllocOverhead:             75 * time.Microsecond,
@@ -216,7 +221,7 @@ func RX560() *Platform {
 					Supported:                 true,
 					Version:                   "API Version 1.0.37",
 					SubmitOverhead:            30 * time.Microsecond,
-					SyncLatency:               14 * time.Microsecond,
+					SyncLatency:               10500 * time.Nanosecond,
 					CommandRecordOverhead:     350 * time.Nanosecond,
 					PipelineBindOverhead:      2800 * time.Nanosecond,
 					BarrierOverhead:           1000 * time.Nanosecond,
@@ -224,7 +229,7 @@ func RX560() *Platform {
 					PushConstantOverhead:      200 * time.Nanosecond,
 					CompilerEfficiency:        0.86,
 					MemoryEfficiency:          0.716,
-					ScatteredMemoryEfficiency: 0.41,
+					ScatteredMemoryEfficiency: 0.45,
 					LocalMemoryAutoOpt:        false,
 					PipelineCreateTime:        180 * time.Microsecond,
 					AllocOverhead:             55 * time.Microsecond,
@@ -302,13 +307,13 @@ func Adreno506() *Platform {
 					SyncLatency:               60 * time.Microsecond,
 					CommandRecordOverhead:     1500 * time.Nanosecond,
 					PipelineBindOverhead:      10 * time.Microsecond,
-					BarrierOverhead:           20 * time.Microsecond,
-					DescriptorUpdateOverhead:  18 * time.Microsecond,
+					BarrierOverhead:           26 * time.Microsecond,
+					DescriptorUpdateOverhead:  22 * time.Microsecond,
 					PushConstantOverhead:      1 * time.Microsecond,
 					PushConstantsAsBuffers:    true,
 					CompilerEfficiency:        0.68,
 					MemoryEfficiency:          0.55,
-					ScatteredMemoryEfficiency: 0.30,
+					ScatteredMemoryEfficiency: 0.27,
 					LocalMemoryAutoOpt:        false,
 					PipelineCreateTime:        700 * time.Microsecond,
 					AllocOverhead:             140 * time.Microsecond,

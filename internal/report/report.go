@@ -271,6 +271,14 @@ func MetricPlatformGeomean(platformID, api, baseline string) string {
 	return "geomean-speedup/" + platformID + "/" + api + "-vs-" + baseline
 }
 
+// MetricBenchmarkSpeedup names one per-benchmark bar of a speedup figure: the
+// geometric mean of the benchmark's workload speedups of api over baseline.
+// These are the individual Fig. 2/4 bars, so calibration error is
+// attributable to single workloads instead of only the figure geomean.
+func MetricBenchmarkSpeedup(benchmark, api, baseline string) string {
+	return "speedup/" + benchmark + "/" + api + "-vs-" + baseline
+}
+
 // Exclusion records a benchmark/API pair that produced no data on the
 // document's platform, with the paper's reason (Table IV: driver failures,
 // datasets that do not fit). Excluded cells are also NaN gaps in the series;

@@ -32,6 +32,14 @@ type Env struct {
 	Queue    *vulkan.Queue
 	DescPool *vulkan.DescriptorPool
 	CmdPool  *vulkan.CommandPool
+
+	// staging is the persistent transfer buffer Upload/Download reuse, grown
+	// on demand. Allocating a fresh staging buffer per transfer — as the naive
+	// translation of Listing 1 does — charges vkAllocateMemory's AllocOverhead
+	// inside timed loops, which mis-accounts iterative algorithms (the bfs
+	// stop-flag readback pays it twice per level); real iterative Vulkan code
+	// keeps one staging buffer alive.
+	staging *Buffer
 }
 
 // Setup initialises Vulkan on the device following the sequence of Listing 1:
@@ -78,6 +86,7 @@ func (e *Env) Close() {
 	if e == nil {
 		return
 	}
+	e.staging.Free()
 	e.CmdPool.Destroy()
 	e.DescPool.Destroy()
 	e.Device.Destroy()
@@ -134,6 +143,25 @@ func (e *Env) NewDeviceBuffer(sizeBytes int64) (*Buffer, error) {
 	return &Buffer{Buf: buf, Mem: mem, env: e}, nil
 }
 
+// stagingFor returns the environment's persistent staging buffer, (re)created
+// when the requested size outgrows it. The buffer stays alive until Close, so
+// steady-state transfers pay no buffer-creation or memory-allocation cost.
+func (e *Env) stagingFor(sizeBytes int64) (*Buffer, error) {
+	if e.staging != nil && e.staging.Size() >= sizeBytes {
+		return e.staging, nil
+	}
+	if e.staging != nil {
+		e.staging.Free()
+		e.staging = nil
+	}
+	s, err := e.stagingBuffer(sizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	e.staging = s
+	return s, nil
+}
+
 // stagingBuffer creates a host-visible buffer for uploads/readbacks.
 func (e *Env) stagingBuffer(sizeBytes int64) (*Buffer, error) {
 	buf, err := e.Device.CreateBuffer(vulkan.BufferCreateInfo{
@@ -157,18 +185,17 @@ func (e *Env) stagingBuffer(sizeBytes int64) (*Buffer, error) {
 	return &Buffer{Buf: buf, Mem: mem, env: e}, nil
 }
 
-// Upload copies host words into the device buffer through a staging buffer and
-// a transfer command buffer.
+// Upload copies host words into the device buffer through the environment's
+// persistent staging buffer and a transfer command buffer.
 func (e *Env) Upload(dst *Buffer, data kernels.Words) error {
 	if int64(len(data))*4 > dst.Size() {
 		return fmt.Errorf("vkutil: upload of %d words into buffer of %d bytes", len(data), dst.Size())
 	}
-	staging, err := e.stagingBuffer(dst.Size())
+	staging, err := e.stagingFor(dst.Size())
 	if err != nil {
 		return err
 	}
-	defer staging.Free()
-	mapped, err := staging.Mem.Map(0, 0)
+	mapped, err := staging.Mem.Map(0, int64(len(data))*4)
 	if err != nil {
 		return err
 	}
@@ -183,7 +210,7 @@ func (e *Env) Upload(dst *Buffer, data kernels.Words) error {
 	if err := cb.Begin(); err != nil {
 		return err
 	}
-	if err := cb.CmdCopyBuffer(staging.Buf, dst.Buf); err != nil {
+	if err := cb.CmdCopyBuffer(staging.Buf, dst.Buf, vulkan.BufferCopy{Size: int64(len(data)) * 4}); err != nil {
 		return err
 	}
 	if err := cb.End(); err != nil {
@@ -207,13 +234,13 @@ func (e *Env) UploadI32(dst *Buffer, data []int32) error {
 	return e.Upload(dst, kernels.I32ToWords(data))
 }
 
-// Download reads the device buffer back to host words.
+// Download reads the device buffer back to host words through the
+// environment's persistent staging buffer.
 func (e *Env) Download(src *Buffer) (kernels.Words, error) {
-	staging, err := e.stagingBuffer(src.Size())
+	staging, err := e.stagingFor(src.Size())
 	if err != nil {
 		return nil, err
 	}
-	defer staging.Free()
 
 	cbs, err := e.Device.AllocateCommandBuffers(vulkan.CommandBufferAllocateInfo{CommandPool: e.CmdPool, Count: 1})
 	if err != nil {
@@ -237,7 +264,9 @@ func (e *Env) Download(src *Buffer) (kernels.Words, error) {
 	if err := fence.Wait(); err != nil {
 		return nil, err
 	}
-	mapped, err := staging.Mem.Map(0, 0)
+	// The persistent staging buffer may be larger than src; map only the
+	// region the copy filled.
+	mapped, err := staging.Mem.Map(0, src.Size())
 	if err != nil {
 		return nil, err
 	}
