@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race bench bench-tables results check calibrate calibrate-sweep clean
+.PHONY: all build vet test race bench bench-dispatch bench-suite bench-compare bench-tables results check calibrate calibrate-sweep clean
 
 all: build vet test
 
@@ -15,17 +15,37 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent suite scheduler (mirrors CI).
+# Race-check the concurrent suite scheduler (mirrors CI). The race detector
+# slows the full-experiment tests by ~5-10x, so the default 10m per-package
+# timeout is not enough headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
-# Dispatch-engine perf tracking: run the kernels.Execute microbenchmarks and
-# fold the numbers into BENCH_dispatch.json (ns/op, B/op, allocs/op). The
-# file's "baseline" section is the pre-optimisation reference and is preserved
-# across runs; "current" is overwritten every time.
-bench:
+# Perf tracking: the dispatch-engine microbenchmarks (BENCH_dispatch.json)
+# plus the suite-level wall-time benchmarks of the counter-replay snapshot
+# cache (BENCH_suite.json). Each file's "baseline" section is the first
+# recorded reference and is preserved across runs; "current" is overwritten
+# every time, so the perf trajectory is reviewable in the diff.
+bench: bench-dispatch bench-suite
+
+bench-dispatch:
 	set -o pipefail; $(GO) test -run '^$$' -bench '^BenchmarkExecute' -benchmem ./internal/kernels \
 		| $(GO) run ./cmd/benchjson -update BENCH_dispatch.json
+
+# Suite wall-time: the calibration sweep and `-run all`, cached (one
+# execution per distinct cell + analytic replays) vs uncached. One iteration
+# each — these are whole-workflow timings, minutes not microseconds.
+bench-suite:
+	set -o pipefail; $(GO) test -run '^$$' -bench '^Benchmark(Sweep|RunAll)' -benchtime 1x -benchmem -timeout 30m . ./internal/calibrate \
+		| $(GO) run ./cmd/benchjson -update BENCH_suite.json
+
+# Regression gate over the tracked perf files: fails when `current` exceeds
+# `baseline` beyond the tolerances. allocs/op is deterministic for the
+# single-dispatch microbenchmarks (exact); whole-suite allocation counts vary
+# with goroutine scheduling and sync.Pool reuse, so the suite file gets 10%.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_dispatch.json -tol-ns 0.5 -tol-allocs 0
+	$(GO) run ./cmd/benchjson -compare BENCH_suite.json -tol-ns 0.5 -tol-allocs 0.1
 
 # Regenerate every table and figure once.
 bench-tables:
@@ -47,8 +67,8 @@ calibrate:
 	$(GO) run ./cmd/vcbench -calibrate all -reps 1
 
 # Deterministic driver-knob sweep proposing recalibrated internal/platforms
-# values for one platform (slow: each candidate re-runs the platform's
-# figures). Usage: make calibrate-sweep PLATFORM=gtx1050ti
+# values for one platform. The suite executes once; candidates are scored by
+# snapshot replay. Usage: make calibrate-sweep PLATFORM=gtx1050ti
 PLATFORM ?= gtx1050ti
 calibrate-sweep:
 	$(GO) run ./cmd/vcbench -calibrate $(PLATFORM) -sweep -reps 1

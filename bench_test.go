@@ -3,6 +3,7 @@ package vcomputebench_test
 import (
 	"testing"
 
+	"vcomputebench/internal/core"
 	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
 )
@@ -13,11 +14,15 @@ import (
 // against Table IV. It is the test-suite twin of `vcbench -check all`: any
 // change that drifts the simulator away from the published results fails
 // tier-1 CI with the offending deltas.
+//
+// The experiments share one snapshot cache, as `vcbench -run/-check all`
+// does: cells that appear in several figures execute once and replay
+// elsewhere, so this test also pins that replay moves no published metric.
 func TestPaperFidelity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full experiments; skipped with -short")
 	}
-	opts := experiments.Options{Repetitions: 1, Seed: 42}
+	opts := experiments.Options{Repetitions: 1, Seed: 42, Cache: core.NewSnapshotCache(0)}
 	for _, e := range experiments.All() {
 		if !expected.HasExpectations(e.ID) {
 			continue

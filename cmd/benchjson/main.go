@@ -8,6 +8,16 @@
 // time a benchmark appears and preserved on later updates (the pre-optimisation
 // reference), and "current", overwritten on every run. Comparing the two shows
 // the dispatch engine's perf trajectory (ns/op, B/op, allocs/op) over PRs.
+//
+// -compare turns the tool into a regression gate: it reads an existing file
+// (no stdin) and fails when any benchmark's "current" exceeds its "baseline"
+// beyond the tolerances:
+//
+//	go run ./cmd/benchjson -compare BENCH_dispatch.json -tol-ns 0.5 -tol-allocs 0
+//
+// ns/op needs a generous tolerance on shared CI runners; allocs/op is
+// deterministic and defaults to exact. A negative tolerance disables that
+// dimension entirely.
 package main
 
 import (
@@ -39,12 +49,24 @@ type File struct {
 	Current map[string]Entry `json:"current"`
 }
 
-const note = "Dispatch-engine perf baseline; regenerate `current` with `make bench`. " +
-	"`baseline` is the pre-optimisation reference and is preserved across updates."
+const note = "Tracked perf baseline; regenerate `current` with `make bench` " +
+	"(bench-dispatch for the kernels.Execute microbenchmarks, bench-suite for the " +
+	"sweep/run-all wall-time benchmarks). `baseline` is the first recorded " +
+	"reference and is preserved across updates."
 
 func main() {
 	update := flag.String("update", "BENCH_dispatch.json", "JSON file to create or update")
+	compare := flag.String("compare", "", "compare current vs baseline in this JSON file and exit non-zero on regression (no stdin)")
+	tolNs := flag.Float64("tol-ns", 0.5, "with -compare: allowed relative ns/op regression (0.5 = +50%; negative disables)")
+	tolAllocs := flag.Float64("tol-allocs", 0, "with -compare: allowed relative allocs/op regression (0 = exact; negative disables)")
 	flag.Parse()
+
+	if *compare != "" {
+		if err := compareFile(*compare, *tolNs, *tolAllocs); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	entries, err := parseBench(os.Stdin)
 	if err != nil {
@@ -84,6 +106,56 @@ func main() {
 			name, cur.NsPerOp, cur.BytesPerOp, cur.AllocsPerOp, base.AllocsPerOp)
 	}
 	fmt.Printf("wrote %s\n", *update)
+}
+
+// compareFile fails when any benchmark present in both sections regresses
+// `current` beyond the tolerated fraction of `baseline`. Benchmarks that
+// exist in only one section (freshly added or retired) are skipped:
+// comparing them would gate on missing data.
+func compareFile(path string, tolNs, tolAllocs float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	regressions := 0
+	compared := 0
+	check := func(name, metric string, base, cur, tol float64) {
+		// A zero baseline is a legitimate target (e.g. an allocation-free hot
+		// path): its limit is simply 0, and any positive current regresses it.
+		if tol < 0 || base < 0 {
+			return
+		}
+		limit := base * (1 + tol)
+		if cur > limit {
+			fmt.Printf("FAIL %-40s %s %12.0f > %12.0f (baseline %12.0f, tol +%.0f%%)\n",
+				name, metric, cur, limit, base, tol*100)
+			regressions++
+			return
+		}
+		fmt.Printf("ok   %-40s %s %12.0f <= %12.0f (baseline %12.0f)\n", name, metric, cur, limit, base)
+	}
+	for _, name := range sortedNames(f.Current) {
+		base, ok := f.Baseline[name]
+		if !ok {
+			continue
+		}
+		cur := f.Current[name]
+		compared++
+		check(name, "ns/op    ", base.NsPerOp, cur.NsPerOp, tolNs)
+		check(name, "allocs/op", base.AllocsPerOp, cur.AllocsPerOp, tolAllocs)
+	}
+	if compared == 0 {
+		return fmt.Errorf("%s has no benchmark present in both baseline and current", path)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d perf regression(s) vs baseline in %s", regressions, path)
+	}
+	fmt.Printf("%s: %d benchmarks within tolerance of baseline\n", path, compared)
+	return nil
 }
 
 // parseBench extracts benchmark lines of the form

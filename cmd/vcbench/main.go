@@ -14,6 +14,7 @@
 //	vcbench -bench bfs -platform rx560    run one benchmark across its workloads and APIs
 //	vcbench -calibrate gtx1050ti          per-benchmark Fig. 2 calibration errors for a platform
 //	vcbench -calibrate rx560 -sweep       additionally sweep the driver knobs and propose values
+//	vcbench -run all -cache-stats         report how many cells executed vs replayed
 package main
 
 import (
@@ -43,7 +44,7 @@ func main() {
 		baselineTol = flag.Float64("baseline-tol", 0, "relative tolerance for -baseline diffs (0 = exact; the simulator is deterministic)")
 		benchName   = flag.String("bench", "", "run a single benchmark by name")
 		calibrateID = flag.String("calibrate", "", "platform id (or 'all') to report per-benchmark calibration errors for")
-		doSweep     = flag.Bool("sweep", false, "with -calibrate: run the deterministic driver-knob sweep and print proposed platform values (slow)")
+		doSweep     = flag.Bool("sweep", false, "with -calibrate: run the deterministic driver-knob sweep and print proposed platform values (one suite execution per platform; candidates scored by replay)")
 		sweepPasses = flag.Int("sweep-passes", 1, "coordinate-descent passes of the -sweep")
 		platformID  = flag.String("platform", platforms.IDGTX1050Ti, "platform id for -bench")
 		reps        = flag.Int("reps", core.DefaultRepetitions, "repetitions per measurement")
@@ -53,6 +54,8 @@ func main() {
 		seed        = flag.Int64("seed", 42, "input generation seed")
 		format      = flag.String("format", "text", "output format: text, csv, markdown or json")
 		outDir      = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
+		useCache    = flag.Bool("cache", true, "share a counter-replay snapshot cache across experiments: each distinct (platform, benchmark, workload, API) cell executes once and is replayed elsewhere (output is byte-identical either way)")
+		cacheStats  = flag.Bool("cache-stats", false, "print snapshot-cache hit/miss statistics to stderr when done")
 	)
 	flag.Parse()
 
@@ -62,6 +65,16 @@ func main() {
 		Parallelism:         *parallel,
 		DispatchParallelism: *dispatchN,
 		Seed:                *seed,
+	}
+	if *useCache {
+		opts.Cache = core.NewSnapshotCache(0)
+	}
+	if *cacheStats {
+		// fatal() exits through os.Exit, which skips deferred calls; route
+		// the stats through the exit hook so a failing -check/-run still
+		// reports whether its cells were executed or replayed.
+		beforeExit = func() { printCacheStats(opts.Cache) }
+		defer beforeExit()
 	}
 	modes := 0
 	for _, set := range []bool{*list, *run != "", *check != "", *benchName != "", *calibrateID != ""} {
@@ -90,7 +103,7 @@ func main() {
 			fatal(err)
 		}
 	case *calibrateID != "":
-		if err := runCalibrate(*calibrateID, opts, *doSweep, *sweepPasses); err != nil {
+		if err := runCalibrate(*calibrateID, opts, *doSweep, *sweepPasses, !*useCache); err != nil {
 			fatal(err)
 		}
 	default:
@@ -99,9 +112,28 @@ func main() {
 	}
 }
 
+// beforeExit, when set, runs before any fatal exit (and, via defer, on
+// success) so end-of-run reporting like -cache-stats survives error paths.
+var beforeExit func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcbench:", err)
+	if beforeExit != nil {
+		beforeExit()
+	}
 	os.Exit(1)
+}
+
+// printCacheStats reports the snapshot cache's traffic: misses are cells that
+// executed, hits are cells served by analytic replay.
+func printCacheStats(c *core.SnapshotCache) {
+	if c == nil {
+		fmt.Fprintln(os.Stderr, "vcbench: snapshot cache disabled (-cache=false)")
+		return
+	}
+	s := c.Stats()
+	fmt.Fprintf(os.Stderr, "vcbench: snapshot cache: %d executed (misses), %d replayed (hits), %d entries, %d evictions\n",
+		s.Misses, s.Hits, s.Entries, s.Evictions)
 }
 
 func listAll() {
@@ -289,7 +321,7 @@ func runCheck(id string, opts experiments.Options, baselinePath string, baseline
 // selected platform(s) and, with sweep, the deterministic driver-knob sweep's
 // proposed platform values. Any target outside its tolerance makes the
 // command exit 1 (after the full report), like -check.
-func runCalibrate(id string, opts experiments.Options, sweep bool, passes int) error {
+func runCalibrate(id string, opts experiments.Options, sweep bool, passes int, noCache bool) error {
 	var selected []*platforms.Platform
 	if id == "all" {
 		selected = platforms.All()
@@ -307,6 +339,7 @@ func runCalibrate(id string, opts experiments.Options, sweep bool, passes int) e
 				Experiments: opts,
 				Passes:      passes,
 				Progress:    os.Stderr,
+				NoCache:     noCache,
 			})
 			if err != nil {
 				return err

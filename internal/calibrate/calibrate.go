@@ -259,9 +259,18 @@ func efficiencyField(field string) bool {
 	return false
 }
 
+// acceptanceEpsilon is the sweep's strict-improvement margin (see betterThan
+// in Sweep) applied as a value-equality tolerance: two knob values closer
+// than this are indistinguishable to the sweep, so evaluating both wastes an
+// evaluation.
+func acceptanceEpsilon(x float64) float64 { return 1e-12 + 1e-9*math.Abs(x) }
+
 // candidateValues builds the deterministic candidate grid for one knob from
 // its current value: multiplicative steps, clamped into (0, 1] for
-// efficiencies. The current value is excluded (it is the incumbent).
+// efficiencies. Values within the sweep's acceptance epsilon of the incumbent
+// are excluded — a clamped step that lands (numerically) back on the current
+// value would re-measure the incumbent profile and can never be accepted —
+// and the surviving candidates are deduplicated with the same epsilon.
 func candidateValues(field string, current float64) []float64 {
 	if current <= 0 {
 		return nil
@@ -278,17 +287,18 @@ func candidateValues(field string, current float64) []float64 {
 				continue
 			}
 		}
-		if math.Abs(v-current) < 1e-12 {
+		if math.Abs(v-current) <= acceptanceEpsilon(current) {
 			continue
 		}
 		out = append(out, v)
 	}
 	sort.Float64s(out)
-	// Dedupe clamped candidates: evaluating the same value twice costs a full
-	// figure run.
+	// Dedupe clamped candidates: evaluating the same value twice costs an
+	// evaluation (a full figure run without the snapshot cache, a replay pass
+	// with it) for a result the sweep has already seen.
 	uniq := out[:0]
 	for i, v := range out {
-		if i == 0 || math.Abs(v-uniq[len(uniq)-1]) > 1e-12 {
+		if i == 0 || math.Abs(v-uniq[len(uniq)-1]) > acceptanceEpsilon(v) {
 			uniq = append(uniq, v)
 		}
 	}

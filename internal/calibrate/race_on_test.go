@@ -1,0 +1,9 @@
+//go:build race
+
+package calibrate
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector; a few whole-suite comparison tests skip under it because
+// their uncached halves multiply minutes of simulation by the detector's
+// slowdown without adding race coverage (the same code paths run cached).
+const raceDetectorEnabled = true

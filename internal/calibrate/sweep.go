@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"vcomputebench/internal/core"
 	"vcomputebench/internal/experiments"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/platforms"
@@ -24,6 +25,12 @@ type Options struct {
 	// Progress, when non-nil, receives one line per evaluation so the
 	// long-running sweep is observable.
 	Progress io.Writer
+	// NoCache forces every evaluation to execute the full figure suite
+	// instead of replaying the first execution's snapshots (the user's
+	// explicit `-cache=false` opt-out, e.g. to cross-check replay itself).
+	// By default the sweep creates a shared snapshot cache when
+	// Experiments.Cache is nil.
+	NoCache bool
 
 	// evaluate overrides the measurement for tests (nil = Measure).
 	evaluate func(*platforms.Platform) (*Report, error)
@@ -101,6 +108,13 @@ func (r *SweepResult) String() string {
 // fixed multiplicative grid is evaluated and the best strictly-improving one
 // is kept. The canonical platform is never mutated; the winner is returned as
 // a clone with the proposed values applied.
+//
+// Every evaluation shares one snapshot cache, and the swept knobs are exactly
+// the timing-only fields the cache's execution fingerprint ignores: the first
+// (baseline) evaluation executes the platform's figure suite once, and every
+// candidate profile afterwards is scored by replaying those snapshots
+// analytically. A sweep of E evaluations therefore costs one full execution
+// plus E cheap replays instead of E executions.
 func Sweep(p *platforms.Platform, opts Options) (*SweepResult, error) {
 	passes := opts.Passes
 	if passes <= 0 {
@@ -108,6 +122,9 @@ func Sweep(p *platforms.Platform, opts Options) (*SweepResult, error) {
 	}
 	eval := opts.evaluate
 	if eval == nil {
+		if opts.Experiments.Cache == nil && !opts.NoCache {
+			opts.Experiments.Cache = core.NewSnapshotCache(0)
+		}
 		eval = func(cand *platforms.Platform) (*Report, error) {
 			return Measure(cand, opts.Experiments)
 		}

@@ -64,10 +64,47 @@ type RunContext struct {
 	// Validate requests that the benchmark also compute its CPU reference and
 	// verify the device output against it (used by tests; expensive).
 	Validate bool
+
+	// rec captures the run's timing trace when the runner snapshots the cell
+	// for replay (nil otherwise). Stopwatch and Now record through it so the
+	// measurement boundaries survive into the trace.
+	rec *hw.Recorder
 }
 
-// Stopwatch starts a stopwatch on the run's host clock.
-func (ctx *RunContext) Stopwatch() *sim.Stopwatch { return sim.StartStopwatch(ctx.Host) }
+// Stopwatch starts a stopwatch on the run's host clock. Under trace recording
+// its start and every Elapsed call are captured as marks, so a replay can
+// recompute the measured interval under a different driver profile.
+func (ctx *RunContext) Stopwatch() *Stopwatch {
+	return &Stopwatch{sw: sim.StartStopwatch(ctx.Host), rec: ctx.rec, start: ctx.rec.Mark()}
+}
+
+// Now returns the current host time, recording the observation in the run's
+// timing trace. Benchmarks must use it — not ctx.Host.Now() — for any value
+// they place in a Result (e.g. TotalTime), so snapshot replay can rebind it.
+func (ctx *RunContext) Now() time.Duration {
+	v := ctx.Host.Now()
+	if ctx.rec != nil {
+		ctx.rec.ReadHostMark(ctx.rec.Mark(), v)
+	}
+	return v
+}
+
+// Stopwatch measures an interval of host virtual time (the paper's
+// std::chrono usage), emitting trace marks when the run is being recorded.
+type Stopwatch struct {
+	sw    *sim.Stopwatch
+	rec   *hw.Recorder
+	start int32
+}
+
+// Elapsed returns the virtual time elapsed since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration {
+	v := s.sw.Elapsed()
+	if s.rec != nil {
+		s.rec.ReadMarkDiff(s.start, s.rec.Mark(), v)
+	}
+	return v
+}
 
 // Result is the outcome of one benchmark run. The JSON tags are part of the
 // versioned results schema (report.SchemaVersion): durations serialise as
@@ -99,6 +136,12 @@ type Result struct {
 	// Extra carries benchmark-specific metrics (e.g. achieved bandwidth in
 	// GB/s for the memory microbenchmark).
 	Extra map[string]float64 `json:"extra,omitempty"`
+
+	// throughputBytes records, for Extra entries set via SetExtraThroughput,
+	// the byte numerator of the bytes-over-kernel-time formula. Snapshot
+	// replay uses it to recompute those extras bit-identically under a
+	// different driver profile; it never serialises.
+	throughputBytes map[string]float64
 }
 
 // ExtraValue returns the named extra metric, or 0 if absent.
@@ -115,6 +158,31 @@ func (r *Result) SetExtra(name string, v float64) {
 		r.Extra = make(map[string]float64)
 	}
 	r.Extra[name] = v
+}
+
+// ThroughputGBps is the canonical bytes-over-time formula shared by the
+// benchmarks and snapshot replay. Both sides must use the identical operation
+// order, or a replayed bandwidth could differ from a fresh run in its last
+// bits.
+func ThroughputGBps(usefulBytes float64, t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return usefulBytes / t.Seconds() / 1e9
+}
+
+// SetExtraThroughput stores an extra metric of the form usefulBytes /
+// kernelTime (in GB/s) and records the numerator, so snapshot replay can
+// recompute the metric from the replayed kernel time. Benchmarks whose extras
+// depend on measured time must use this instead of SetExtra; extras stored
+// with SetExtra are treated as timing-independent and copied verbatim by
+// replay.
+func (r *Result) SetExtraThroughput(name string, usefulBytes float64, kernelTime time.Duration) {
+	r.SetExtra(name, ThroughputGBps(usefulBytes, kernelTime))
+	if r.throughputBytes == nil {
+		r.throughputBytes = make(map[string]float64)
+	}
+	r.throughputBytes[name] = usefulBytes
 }
 
 // Benchmark is one VComputeBench workload: its Table I metadata, the input

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+)
+
+// DefaultSnapshotCacheEntries bounds a SnapshotCache built with size 0. It
+// comfortably covers the full -run all grid (every platform × benchmark ×
+// workload × API cell of every figure) while keeping worst-case trace memory
+// bounded.
+const DefaultSnapshotCacheEntries = 512
+
+// cacheKey identifies one measurement cell up to everything that can change
+// its execution trace. Crucially it does NOT include any timing-only profile
+// field: two platforms that differ only in DriverProfile knob values (a
+// calibration sweep's candidates) map to the same key and share one executed
+// snapshot, which is the entire point of the cache. The counter-relevant
+// structural fields are folded in via hw.Profile.ExecutionFingerprint.
+type cacheKey struct {
+	platform    string
+	fingerprint string
+	benchmark   string
+	workload    string
+	api         hw.API
+	seed        int64
+	reps        int
+	warmup      int
+	validate    bool
+}
+
+// CacheStats reports a cache's traffic. Lookups = Hits + Misses.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+}
+
+// SnapshotCache is a bounded, concurrency-safe LRU cache of executed
+// measurement snapshots. The suite scheduler's workers share one instance, so
+// all methods take an internal lock; the expensive work (executing a cell,
+// replaying a trace) happens outside the lock.
+type SnapshotCache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	entries   map[cacheKey]*list.Element
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	snap *Snapshot
+}
+
+// NewSnapshotCache returns a cache bounded to maxEntries snapshots
+// (DefaultSnapshotCacheEntries when maxEntries <= 0). The least recently used
+// snapshot is evicted when the bound is exceeded.
+func NewSnapshotCache(maxEntries int) *SnapshotCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultSnapshotCacheEntries
+	}
+	return &SnapshotCache{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the snapshot for the key, updating recency and hit/miss stats.
+func (c *SnapshotCache) get(k cacheKey) (*Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).snap, true
+}
+
+// put inserts (or replaces) the snapshot for the key, evicting the least
+// recently used entry beyond the bound.
+func (c *SnapshotCache) put(k cacheKey, s *Snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).snap = s
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, snap: s})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (c *SnapshotCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+}
+
+// snapshotKey builds the cache key of one cell under this runner's settings.
+func (r *Runner) snapshotKey(p *platforms.Platform, b Benchmark, api hw.API, w Workload) cacheKey {
+	reps := r.Repetitions
+	if reps <= 0 {
+		reps = 1
+	}
+	warmup := r.Warmup
+	if warmup < 0 {
+		warmup = 0
+	}
+	return cacheKey{
+		platform:    p.ID,
+		fingerprint: p.Profile.ExecutionFingerprint(),
+		benchmark:   b.Name(),
+		workload:    w.Label,
+		api:         api,
+		seed:        r.Seed,
+		reps:        reps,
+		warmup:      warmup,
+		validate:    r.Validate,
+	}
+}

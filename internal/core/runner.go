@@ -55,6 +55,14 @@ type Runner struct {
 	Seed int64
 	// Validate forwards the validation request to the benchmarks.
 	Validate bool
+	// Cache, when non-nil, decouples kernel execution from the timing model:
+	// the first run of a cell executes the benchmark once, recording its
+	// timing trace as a replayable Snapshot; subsequent runs of the same cell
+	// — including on platform clones that differ only in DriverProfile knob
+	// values, as a calibration sweep produces — replay the snapshot
+	// analytically instead of re-executing workgroups. Results are
+	// bit-identical either way. nil preserves the plain execution path.
+	Cache *SnapshotCache
 }
 
 // NewRunner returns a runner with the default repetition count.
@@ -67,7 +75,9 @@ func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload)
 }
 
 // run is Run with an explicit per-dispatch core budget (0 = whole machine);
-// RunSuite passes the budget it computed for its pool size.
+// RunSuite passes the budget it computed for its pool size. With a snapshot
+// cache attached, a cell already executed under an execution-compatible
+// platform is replayed analytically instead of re-executed.
 func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload, dispatchParallel int) (*Result, error) {
 	if p == nil || b == nil {
 		return nil, fmt.Errorf("core: Run with nil platform or benchmark")
@@ -94,7 +104,27 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 			Reason: fmt.Sprintf("benchmark has no %s implementation", api),
 		}
 	}
+	if r.Cache == nil {
+		res, _, err := r.execute(p, b, api, w, dispatchParallel, false)
+		return res, err
+	}
+	key := r.snapshotKey(p, b, api, w)
+	if snap, ok := r.Cache.get(key); ok {
+		return snap.Replay(p)
+	}
+	res, snap, err := r.execute(p, b, api, w, dispatchParallel, true)
+	if err != nil {
+		return nil, err
+	}
+	r.Cache.put(key, snap)
+	return res, nil
+}
 
+// execute runs the benchmark's repetitions on fresh devices and averages the
+// measurements. With record set, the first measured repetition is captured as
+// a timing trace and returned as a replayable Snapshot alongside the result.
+func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
+	dispatchParallel int, record bool) (*Result, *Snapshot, error) {
 	reps := r.Repetitions
 	if reps <= 0 {
 		reps = 1
@@ -106,53 +136,84 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 
 	var kernelTimes, totalTimes []time.Duration
 	var last *Result
+	var rec *hw.Recorder
+	var recKernel, recTotal time.Duration
 	for rep := 0; rep < warmup+reps; rep++ {
 		dev, err := p.NewDevice()
 		if err != nil {
-			return nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
+			return nil, nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
 		}
 		dev.SetDispatchParallelism(dispatchParallel)
+		host := sim.NewHost()
+		var repRec *hw.Recorder
+		if record && rep == warmup {
+			// Trace the first measured repetition. The simulator is
+			// deterministic — every repetition of a cell is identical — so one
+			// trace stands for them all; the equality checks below keep that
+			// assumption honest.
+			repRec = hw.NewRecorder(api)
+			dev.SetRecorder(repRec)
+			host.SetTraceSink(repRec)
+		}
 		ctx := &RunContext{
-			Host:     sim.NewHost(),
+			Host:     host,
 			Device:   dev,
 			Platform: p,
 			API:      api,
 			Workload: w,
 			Seed:     r.Seed,
 			Validate: r.Validate && rep == 0,
+			rec:      repRec,
 		}
 		res, err := b.Run(ctx)
 		if err != nil {
-			return nil, fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label, err)
+			return nil, nil, fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label, err)
 		}
 		res.Benchmark = b.Name()
 		res.API = api
 		res.Platform = p.ID
 		res.Workload = w.Label
 		if last != nil && last.Checksum != res.Checksum {
-			return nil, fmt.Errorf("core: %s/%s on %s (%s): checksum changed between repetitions (%v vs %v)",
+			return nil, nil, fmt.Errorf("core: %s/%s on %s (%s): checksum changed between repetitions (%v vs %v)",
 				b.Name(), api, p.ID, w.Label, last.Checksum, res.Checksum)
 		}
 		last = res
 		if rep < warmup {
 			continue // warm-up runs are validated but never measured
 		}
+		if repRec != nil {
+			rec = repRec
+			recKernel, recTotal = res.KernelTime, res.TotalTime
+		}
+		if rec != nil && (res.KernelTime != recKernel || res.TotalTime != recTotal) {
+			return nil, nil, fmt.Errorf("core: %s/%s on %s (%s): repetitions diverged (%v/%v vs %v/%v); "+
+				"a non-deterministic benchmark cannot be snapshotted",
+				b.Name(), api, p.ID, w.Label, res.KernelTime, res.TotalTime, recKernel, recTotal)
+		}
 		kernelTimes = append(kernelTimes, res.KernelTime)
 		totalTimes = append(totalTimes, res.TotalTime)
 	}
+	var snap *Snapshot
+	if record {
+		var err error
+		snap, err = newSnapshot(p, b, api, w, rec.Trace(), last, recKernel, recTotal, reps)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	kernelStats, err := stats.SummarizeDurations(kernelTimes)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	totalStats, err := stats.SummarizeDurations(totalTimes)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	last.KernelTime = kernelStats.Mean
 	last.TotalTime = totalStats.Mean
 	last.KernelStats = kernelStats
 	last.TotalStats = totalStats
-	return last, nil
+	return last, snap, nil
 }
 
 // SuiteResult collects the results of running several benchmarks across APIs

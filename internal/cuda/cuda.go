@@ -39,6 +39,7 @@ type Context struct {
 	host    *sim.Host
 	dev     *hw.Device
 	drv     hw.DriverProfile
+	rec     *hw.Recorder
 	def     *Stream
 	streams int
 }
@@ -54,7 +55,7 @@ func NewContext(host *sim.Host, dev *hw.Device) (*Context, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoDevice, dev.Profile().Name)
 	}
-	ctx := &Context{host: host, dev: dev, drv: drv}
+	ctx := &Context{host: host, dev: dev, drv: drv, rec: dev.Recorder()}
 	hq, err := dev.Queue(hw.QueueCompute, 0)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoDevice, err)
@@ -121,6 +122,7 @@ func (c *Context) Malloc(size int64) (*DevicePtr, error) {
 	if size <= 0 {
 		return nil, ErrInvalidValue
 	}
+	c.rec.NextSpend(hw.KnobCost(hw.KnobAlloc))
 	c.host.Spend("cudaMalloc", c.drv.AllocOverhead)
 	alloc, err := c.dev.Memory().Allocate(hw.HeapDeviceLocal, size)
 	if err != nil {
@@ -150,6 +152,7 @@ func (c *Context) MemcpyHtoD(dst *DevicePtr, src kernels.Words) error {
 	c.host.Spend("cudaMemcpy(HtoD)", hostCallOverhead)
 	copy(dst.alloc.Words(), src)
 	_, end := c.def.hw.ExecuteTransfer(c.host.Now(), int64(len(src))*4)
+	c.rec.WaitQueue(c.def.hw.Slot())
 	c.host.WaitUntil(end)
 	return nil
 }
@@ -162,6 +165,7 @@ func (c *Context) MemcpyDtoH(dst kernels.Words, src *DevicePtr) error {
 	c.host.Spend("cudaMemcpy(DtoH)", hostCallOverhead)
 	copy(dst, src.alloc.Words())
 	_, end := c.def.hw.ExecuteTransfer(c.host.Now(), int64(len(dst))*4)
+	c.rec.WaitQueue(c.def.hw.Slot())
 	c.host.WaitUntil(end)
 	return nil
 }
@@ -256,9 +260,10 @@ func (s *Stream) Launch(k *Kernel, grid kernels.Dim3, block kernels.Dim3, args A
 		}
 		buffers[i] = b.alloc.Words()
 	}
+	s.ctx.rec.NextSpend(hw.KnobCost(hw.KnobKernelLaunch))
 	s.ctx.host.Spend("cudaLaunchKernel", s.ctx.drv.KernelLaunchOverhead)
 	cfg := kernels.DispatchConfig{Groups: grid, Buffers: buffers, Push: args.Values}
-	_, err := s.hw.ExecuteKernel(s.ctx.host.Now(), hw.APICUDA, k.prog, cfg, s.ctx.drv.PipelineBindOverhead)
+	_, err := s.hw.ExecuteKernel(s.ctx.host.Now(), hw.APICUDA, k.prog, cfg, hw.KnobCost(hw.KnobPipelineBind))
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrLaunchFailure, err)
 	}
@@ -271,7 +276,9 @@ func (s *Stream) Launch(k *Kernel, grid kernels.Dim3, block kernels.Dim3, args A
 // once per iteration.
 func (s *Stream) Synchronize() {
 	s.ctx.host.Spend("cudaStreamSynchronize", hostCallOverhead)
+	s.ctx.rec.WaitQueue(s.hw.Slot())
 	s.ctx.host.WaitUntil(s.hw.AvailableAt())
+	s.ctx.rec.NextSpend(hw.KnobCost(hw.KnobSync))
 	s.ctx.host.Spend("sync-latency", s.ctx.drv.SyncLatency)
 }
 
@@ -281,9 +288,11 @@ func (c *Context) DeviceSynchronize() {
 	for i := 0; i < c.dev.QueueCount(hw.QueueCompute); i++ {
 		q, err := c.dev.Queue(hw.QueueCompute, i)
 		if err == nil {
+			c.rec.WaitQueue(q.Slot())
 			c.host.WaitUntil(q.AvailableAt())
 		}
 	}
+	c.rec.NextSpend(hw.KnobCost(hw.KnobSync))
 	c.host.Spend("sync-latency", c.drv.SyncLatency)
 }
 
@@ -292,6 +301,7 @@ func (c *Context) DeviceSynchronize() {
 type Event struct {
 	ctx  *Context
 	when time.Duration
+	mark int32
 	set  bool
 }
 
@@ -305,6 +315,7 @@ func (c *Context) EventCreate() *Event {
 func (e *Event) Record(s *Stream) {
 	e.ctx.host.Spend("cudaEventRecord", hostCallOverhead)
 	e.when = s.hw.AvailableAt()
+	e.mark = e.ctx.rec.QueueMark(s.hw.Slot())
 	e.set = true
 }
 
@@ -313,5 +324,7 @@ func (e *Event) Elapsed(since *Event) (time.Duration, error) {
 	if !e.set || !since.set {
 		return 0, fmt.Errorf("%w: elapsed time of unrecorded events", ErrInvalidValue)
 	}
-	return e.when - since.when, nil
+	v := e.when - since.when
+	e.ctx.rec.ReadEndDiff(since.mark, e.mark, v)
+	return v, nil
 }

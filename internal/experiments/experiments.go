@@ -35,6 +35,14 @@ type Options struct {
 	DispatchParallelism int
 	// Seed for input generation.
 	Seed int64
+	// Cache, when non-nil, is the shared snapshot cache: cells already
+	// executed (by any experiment using the same cache) are replayed
+	// analytically instead of re-executed. Output is byte-identical with or
+	// without it; `-run all` shares one cache across experiments so figures
+	// that overlap in (platform, benchmark, workload, API) cells execute each
+	// cell once, and the calibration sweep scores every candidate profile by
+	// replaying the single execution of its platform's suite.
+	Cache *core.SnapshotCache
 }
 
 // defaults fills in zero fields.
@@ -57,6 +65,7 @@ func (o Options) Runner() *core.Runner {
 		Parallelism:         o.Parallelism,
 		DispatchParallelism: o.DispatchParallelism,
 		Seed:                o.Seed,
+		Cache:               o.Cache,
 	}
 }
 

@@ -20,6 +20,10 @@ type Device struct {
 	// its per-cell core budget so concurrent benchmark cells do not
 	// oversubscribe the machine; counters are identical for any value.
 	dispatchParallelism int
+	// rec, when non-nil, captures every unit of device work as a symbolic
+	// trace event for later replay (see trace.go). Queue methods record
+	// through it; nil disables recording at zero cost.
+	rec *Recorder
 }
 
 // NewDevice constructs a simulated device from a profile. The device exposes
@@ -46,10 +50,21 @@ func NewDevice(p Profile) (*Device, error) {
 
 func (d *Device) addQueue(kind QueueKind) *Queue {
 	idx := len(d.queues[kind])
+	slot := 0
+	for _, qs := range d.queues {
+		slot += len(qs)
+	}
+	if slot >= maxQueueSlots {
+		// The trace recorder and replay index per-queue state by slot in
+		// fixed-size arrays; failing here keeps a future many-queue profile
+		// from panicking deep inside a recorded run instead.
+		panic(fmt.Sprintf("hw: device %q exceeds the %d trace queue slots", d.profile.Name, maxQueueSlots))
+	}
 	q := &Queue{
 		dev:    d,
 		kind:   kind,
 		index:  idx,
+		slot:   uint8(slot),
 		engine: sim.NewEngine(fmt.Sprintf("%s:%s%d", d.profile.Name, kind, idx), &d.timeline),
 	}
 	d.queues[kind] = append(d.queues[kind], q)
@@ -70,6 +85,15 @@ func (d *Device) SetDispatchParallelism(n int) {
 
 // DispatchParallelism returns the per-dispatch worker budget (0 = GOMAXPROCS).
 func (d *Device) DispatchParallelism() int { return d.dispatchParallelism }
+
+// SetRecorder attaches a trace recorder: every kernel, transfer and occupy
+// scheduled on the device's queues is captured for replay. nil detaches.
+func (d *Device) SetRecorder(r *Recorder) { d.rec = r }
+
+// Recorder returns the attached trace recorder (nil when not recording). API
+// front ends fetch it once at context/device creation and record host-side
+// events (knob-tagged spends, waits, readings) through it.
+func (d *Device) Recorder() *Recorder { return d.rec }
 
 // Memory returns the device's memory system.
 func (d *Device) Memory() *MemorySystem { return d.mem }
@@ -125,6 +149,7 @@ type Queue struct {
 	dev    *Device
 	kind   QueueKind
 	index  int
+	slot   uint8
 	engine *sim.Engine
 }
 
@@ -134,6 +159,10 @@ func (q *Queue) Kind() QueueKind { return q.kind }
 // Index returns the queue index within its family.
 func (q *Queue) Index() int { return q.index }
 
+// Slot returns the queue's device-wide trace slot (its position in device
+// queue-creation order), used to key recorded events and waits.
+func (q *Queue) Slot() uint8 { return q.slot }
+
 // Device returns the owning device.
 func (q *Queue) Device() *Device { return q.dev }
 
@@ -141,11 +170,13 @@ func (q *Queue) Device() *Device { return q.dev }
 func (q *Queue) AvailableAt() time.Duration { return q.engine.AvailableAt() }
 
 // ExecuteKernel functionally executes the program on the device and schedules
-// its simulated duration (plus extraDeviceTime, e.g. pipeline bind or barrier
-// costs charged by the API layer) on this queue, starting no earlier than
-// earliest. It returns the run record.
+// its simulated duration (plus extra, the symbolic cost of API-layer device
+// work such as pipeline binds or barriers) on this queue, starting no earlier
+// than earliest. It returns the run record. When a trace recorder is attached
+// the dispatch is captured — program, counters and the symbolic extra cost —
+// so replay can recompute its duration under any driver profile.
 func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Program,
-	cfg kernels.DispatchConfig, extraDeviceTime time.Duration) (KernelRun, error) {
+	cfg kernels.DispatchConfig, extra Cost) (KernelRun, error) {
 	if q.kind != QueueCompute && q.kind != QueueGraphics {
 		return KernelRun{}, fmt.Errorf("hw: queue %s%d cannot execute compute work", q.kind, q.index)
 	}
@@ -169,7 +200,8 @@ func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Pro
 	if err != nil {
 		return KernelRun{}, err
 	}
-	exec := KernelDuration(&q.dev.profile, &drv, prog, counters) + extraDeviceTime
+	exec := KernelDuration(&q.dev.profile, &drv, prog, counters) + extra.Duration(&drv)
+	q.dev.rec.Kernel(q.slot, prog, counters, extra)
 	start, end := q.engine.Schedule(prog.Name, earliest, exec)
 	return KernelRun{
 		Program:  prog.Name,
@@ -184,11 +216,17 @@ func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Pro
 // returns its start and end times.
 func (q *Queue) ExecuteTransfer(earliest time.Duration, n int64) (start, end time.Duration) {
 	d := TransferDuration(&q.dev.profile, n)
+	q.dev.rec.Transfer(q.slot, n)
 	return q.engine.Schedule("transfer", earliest, d)
 }
 
-// Occupy schedules opaque device-side work (e.g. a barrier's drain time) on
-// the queue and returns its start and end times.
-func (q *Queue) Occupy(name string, earliest, d time.Duration) (start, end time.Duration) {
+// Occupy schedules opaque device-side work (e.g. a barrier's drain time) of
+// the given symbolic cost on the queue and returns its start and end times.
+func (q *Queue) Occupy(name string, earliest time.Duration, c Cost, api API) (start, end time.Duration) {
+	d := c.Fixed
+	if drv, ok := q.dev.profile.Driver(api); ok {
+		d = c.Duration(&drv)
+	}
+	q.dev.rec.Occupy(q.slot, c)
 	return q.engine.Schedule(name, earliest, d)
 }

@@ -39,7 +39,7 @@ func TestDispatchParallelismBudget(t *testing.T) {
 		}
 		buf := make(kernels.Words, 32*64)
 		run, err := q.ExecuteKernel(0, hw.APIVulkan, prog,
-			kernels.DispatchConfig{Groups: kernels.D1(32), Buffers: []kernels.Words{buf}}, 0)
+			kernels.DispatchConfig{Groups: kernels.D1(32), Buffers: []kernels.Words{buf}}, hw.Cost{})
 		if err != nil {
 			t.Fatal(err)
 		}

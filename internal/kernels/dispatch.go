@@ -448,13 +448,15 @@ func (wg *Workgroup) ForEach(fn func(inv *Invocation)) {
 }
 
 // noteLoad records one 4-byte global load by inv at element index idx of the
-// given binding.
+// given binding. The access ordinal is only consumed by the coalescing
+// recorder, so it is maintained only on sampled workgroups — on the ~97% of
+// workgroups that do not record, the hot path is a single counter increment.
 func (wg *Workgroup) noteLoad(inv *Invocation, binding, idx int) {
 	wg.accLoads++
 	if wg.recording {
 		wg.recordAccess(inv, binding, idx)
+		inv.ordinal++
 	}
-	inv.ordinal++
 }
 
 // noteStore records one 4-byte global store.
@@ -462,8 +464,8 @@ func (wg *Workgroup) noteStore(inv *Invocation, binding, idx int) {
 	wg.accStores++
 	if wg.recording {
 		wg.recordAccess(inv, binding, idx)
+		inv.ordinal++
 	}
-	inv.ordinal++
 }
 
 func (wg *Workgroup) recordAccess(inv *Invocation, binding, idx int) {

@@ -67,6 +67,14 @@ func vectorAddConfig(groups int) (kernels.DispatchConfig, func()) {
 // BenchmarkExecuteVectorAddSampled dispatches 2M invocations, four times the
 // exact-execution cap, so workgroup sampling and the coalescing recorder are
 // both on the measured path.
+//
+// Reading the numbers: Sampled executes 512Ki invocations (the cap), the same
+// count as ExactLarge but spread as every 4th workgroup across a 4x larger
+// buffer footprint — compare those two to see the true sampling overhead
+// (strided access locality plus recorder bookkeeping, single-digit percent).
+// The old Sampled-vs-Exact ratio of ~4.3x was almost entirely the 4x
+// difference in *executed invocations* (512Ki vs 128Ki), not sampling cost;
+// the pair was never size-matched.
 func BenchmarkExecuteVectorAddSampled(b *testing.B) {
 	p := mustLookup(b, micro.KernelVectorAdd)
 	cfg, reset := vectorAddConfig(8192)
@@ -78,6 +86,16 @@ func BenchmarkExecuteVectorAddSampled(b *testing.B) {
 func BenchmarkExecuteVectorAddExact(b *testing.B) {
 	p := mustLookup(b, micro.KernelVectorAdd)
 	cfg, reset := vectorAddConfig(512)
+	runExecute(b, p, cfg, reset)
+}
+
+// BenchmarkExecuteVectorAddExactLarge executes the same number of invocations
+// as the sampled benchmark (2048 workgroups = 512Ki invocations, exactly at
+// the sampling cap) but contiguously and without the recorder, isolating the
+// sampled path's true overhead in the BENCH_dispatch.json comparison.
+func BenchmarkExecuteVectorAddExactLarge(b *testing.B) {
+	p := mustLookup(b, micro.KernelVectorAdd)
+	cfg, reset := vectorAddConfig(2048)
 	runExecute(b, p, cfg, reset)
 }
 

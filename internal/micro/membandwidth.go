@@ -117,19 +117,16 @@ func (m *MemBandwidth) Run(ctx *core.RunContext) (*core.Result, error) {
 	}
 
 	// Useful traffic per iteration: one 4-byte read and one 4-byte write per
-	// work item.
+	// work item. The extra is declared as a throughput (bytes over kernel
+	// time) so snapshot replay recomputes it from the replayed kernel time.
 	usefulBytes := float64(threads) * 8 * float64(iters)
-	bw := 0.0
-	if kernelTime > 0 {
-		bw = usefulBytes / kernelTime.Seconds() / 1e9
-	}
 	res := &core.Result{
 		KernelTime: kernelTime,
-		TotalTime:  ctx.Host.Now(),
+		TotalTime:  ctx.Now(),
 		Dispatches: iters,
 		Checksum:   core.ChecksumF32(out),
 	}
-	res.SetExtra(ExtraBandwidthGBps, bw)
+	res.SetExtraThroughput(ExtraBandwidthGBps, usefulBytes, kernelTime)
 	return res, nil
 }
 

@@ -86,7 +86,7 @@ func (v *VectorAdd) Run(ctx *core.RunContext) (*core.Result, error) {
 	}
 	res := &core.Result{
 		KernelTime: kernelTime,
-		TotalTime:  ctx.Host.Now(),
+		TotalTime:  ctx.Now(),
 		Dispatches: 1,
 		Checksum:   core.ChecksumF32(z),
 	}

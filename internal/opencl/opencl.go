@@ -117,6 +117,7 @@ type Context struct {
 	host *sim.Host
 	dev  *Device
 	drv  hw.DriverProfile
+	rec  *hw.Recorder
 }
 
 // CreateContext creates a context for the device.
@@ -129,7 +130,7 @@ func CreateContext(d *Device) (*Context, error) {
 		return nil, fmt.Errorf("%w: %v", ErrDeviceNotFound, err)
 	}
 	d.host.Spend("clCreateContext", 40*time.Microsecond)
-	return &Context{host: d.host, dev: d, drv: drv}, nil
+	return &Context{host: d.host, dev: d, drv: drv, rec: d.hw.Recorder()}, nil
 }
 
 // Host returns the simulated host.
@@ -166,6 +167,7 @@ func (c *Context) CreateBuffer(flags MemFlags, size int64, hostData kernels.Word
 	if size <= 0 {
 		return nil, ErrInvalidValue
 	}
+	c.rec.NextSpend(hw.KnobCost(hw.KnobAlloc))
 	c.host.Spend("clCreateBuffer", c.drv.AllocOverhead)
 	alloc, err := c.dev.hw.Memory().Allocate(hw.HeapDeviceLocal, size)
 	if err != nil {
@@ -220,6 +222,7 @@ func (p *Program) Build(options string) error {
 	}
 	p.names = names
 	p.built = true
+	p.ctx.rec.NextSpend(hw.KnobCostN(hw.KnobJITCompile, len(names)))
 	p.ctx.host.Spend("clBuildProgram", time.Duration(len(names))*p.ctx.drv.JITCompileTime)
 	return nil
 }
@@ -298,6 +301,7 @@ func (k *Kernel) Program() *kernels.Program { return k.kp }
 // SetArgBuffer sets argument index to a buffer. Buffer arguments occupy
 // indices [0, Bindings).
 func (k *Kernel) SetArgBuffer(index int, m *Mem) error {
+	k.prog.ctx.rec.NextSpend(hw.KnobCost(hw.KnobDescriptorUpdate))
 	k.prog.ctx.host.Spend("clSetKernelArg", k.prog.ctx.drv.DescriptorUpdateOverhead)
 	if index < 0 || index >= len(k.buffers) {
 		return fmt.Errorf("%w: buffer argument index %d out of range [0,%d)", ErrInvalidArgIndex, index, len(k.buffers))
@@ -313,6 +317,7 @@ func (k *Kernel) SetArgBuffer(index int, m *Mem) error {
 // SetArgU32 sets a 32-bit scalar argument. Scalar arguments occupy indices
 // [Bindings, Bindings+PushConstantWords).
 func (k *Kernel) SetArgU32(index int, v uint32) error {
+	k.prog.ctx.rec.NextSpend(hw.KnobCost(hw.KnobPushConstant))
 	k.prog.ctx.host.Spend("clSetKernelArg", k.prog.ctx.drv.PushConstantOverhead)
 	vi := index - k.kp.Bindings
 	if vi < 0 || vi >= len(k.values) {
@@ -360,10 +365,21 @@ type Event struct {
 	Submit time.Duration
 	Start  time.Duration
 	End    time.Duration
+
+	rec *hw.Recorder
+	ref int32
 }
 
-// Duration returns the device execution time (start to end).
-func (e *Event) Duration() time.Duration { return e.End - e.Start }
+// Duration returns the device execution time (start to end). Under trace
+// recording each call is captured as a span reading, so a kernel time summed
+// from profiling events can be rebound during replay.
+func (e *Event) Duration() time.Duration {
+	v := e.End - e.Start
+	if e.rec != nil && e.ref >= 0 {
+		e.rec.ReadSpan(e.ref, v)
+	}
+	return v
+}
 
 // EnqueueWriteBuffer copies host words into a buffer. When blocking, the host
 // waits for the transfer to complete.
@@ -375,10 +391,12 @@ func (q *CommandQueue) EnqueueWriteBuffer(m *Mem, blocking bool, data kernels.Wo
 	queued := q.ctx.host.Now()
 	copy(m.alloc.Words(), data)
 	start, end := q.hw.ExecuteTransfer(queued, int64(len(data))*4)
+	ref := q.ctx.rec.QueueMark(q.hw.Slot())
 	if blocking {
+		q.ctx.rec.Wait(ref)
 		q.ctx.host.WaitUntil(end)
 	}
-	return &Event{Queued: queued, Submit: queued, Start: start, End: end}, nil
+	return &Event{Queued: queued, Submit: queued, Start: start, End: end, rec: q.ctx.rec, ref: ref}, nil
 }
 
 // EnqueueReadBuffer copies a buffer into host words.
@@ -390,10 +408,12 @@ func (q *CommandQueue) EnqueueReadBuffer(m *Mem, blocking bool, data kernels.Wor
 	queued := q.ctx.host.Now()
 	copy(data, m.alloc.Words())
 	start, end := q.hw.ExecuteTransfer(queued, int64(len(data))*4)
+	ref := q.ctx.rec.QueueMark(q.hw.Slot())
 	if blocking {
+		q.ctx.rec.Wait(ref)
 		q.ctx.host.WaitUntil(end)
 	}
-	return &Event{Queued: queued, Submit: queued, Start: start, End: end}, nil
+	return &Event{Queued: queued, Submit: queued, Start: start, End: end, rec: q.ctx.rec, ref: ref}, nil
 }
 
 // EnqueueNDRangeKernel enqueues one kernel execution over the global NDRange.
@@ -431,15 +451,17 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, global, local kernels.Dim
 	for i, m := range k.buffers {
 		buffers[i] = m.alloc.Words()
 	}
+	q.ctx.rec.NextSpend(hw.KnobCost(hw.KnobKernelLaunch))
 	q.ctx.host.Spend("clEnqueueNDRangeKernel", q.ctx.drv.KernelLaunchOverhead)
 	queued := q.ctx.host.Now()
 	groups := kernels.Dim3{X: global.X / local.X, Y: global.Y / local.Y, Z: global.Z / local.Z}
 	cfg := kernels.DispatchConfig{Groups: groups, Buffers: buffers, Push: k.values}
-	run, err := q.hw.ExecuteKernel(queued, hw.APIOpenCL, k.kp, cfg, q.ctx.drv.PipelineBindOverhead)
+	run, err := q.hw.ExecuteKernel(queued, hw.APIOpenCL, k.kp, cfg, hw.KnobCost(hw.KnobPipelineBind))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrOutOfResources, err)
 	}
-	return &Event{Queued: queued, Submit: queued, Start: run.Start, End: run.End}, nil
+	ref := q.ctx.rec.QueueMark(q.hw.Slot())
+	return &Event{Queued: queued, Submit: queued, Start: run.Start, End: run.End, rec: q.ctx.rec, ref: ref}, nil
 }
 
 // Finish blocks the host until the queue drains (clFinish). Beyond waiting for
@@ -447,7 +469,9 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, global, local kernels.Dim
 // multi-kernel method incurs once per iteration.
 func (q *CommandQueue) Finish() {
 	q.ctx.host.Spend("clFinish", hostCallOverhead)
+	q.ctx.rec.WaitQueue(q.hw.Slot())
 	q.ctx.host.WaitUntil(q.hw.AvailableAt())
+	q.ctx.rec.NextSpend(hw.KnobCost(hw.KnobSync))
 	q.ctx.host.Spend("sync-latency", q.ctx.drv.SyncLatency)
 }
 

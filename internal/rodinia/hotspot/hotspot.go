@@ -247,7 +247,7 @@ func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
 	}
 	return &core.Result{
 		KernelTime: out.KernelTime,
-		TotalTime:  ctx.Host.Now(),
+		TotalTime:  ctx.Now(),
 		Dispatches: out.Dispatches,
 		Checksum:   core.ChecksumF32(result),
 	}, nil

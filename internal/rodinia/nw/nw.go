@@ -262,7 +262,7 @@ func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
 	sample := []float32{final, float32(score[dim+1]), float32(score[(dim-1)*dim/2])}
 	return &core.Result{
 		KernelTime: out.KernelTime,
-		TotalTime:  ctx.Host.Now(),
+		TotalTime:  ctx.Now(),
 		Dispatches: out.Dispatches,
 		Checksum:   core.ChecksumF32(sample),
 	}, nil

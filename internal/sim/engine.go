@@ -87,16 +87,31 @@ func (e *Engine) Reset() {
 	e.negClamped = 0
 }
 
+// TraceSink receives every host-clock Spend for trace capture. The execute/
+// replay layer (internal/hw) implements it to record host work symbolically;
+// sim stays ignorant of what the durations mean.
+type TraceSink interface {
+	// HostSpend is called once per Spend, before the non-positive-duration
+	// filter, so a sink sees knob-valued spends even while the knob is zero.
+	HostSpend(d time.Duration)
+}
+
 // Host models the CPU side of the platform: a virtual clock the benchmarks
 // read with the simulated equivalent of std::chrono, plus helpers for
 // host-side busy work (API call overheads, validation, driver work).
 type Host struct {
 	clock    Clock
 	timeline Timeline
+	sink     TraceSink
 }
 
 // NewHost returns a host whose clock starts at zero.
 func NewHost() *Host { return &Host{} }
+
+// SetTraceSink attaches a sink observing every Spend (nil detaches). Waits
+// are not observed here: their targets are queue-relative, which only the
+// layers holding the queues can express.
+func (h *Host) SetTraceSink(s TraceSink) { h.sink = s }
 
 // Now returns the current host time.
 func (h *Host) Now() time.Duration { return h.clock.Now() }
@@ -105,6 +120,9 @@ func (h *Host) Now() time.Duration { return h.clock.Now() }
 // validation, command recording or driver bookkeeping, and returns the new
 // time.
 func (h *Host) Spend(what string, d time.Duration) time.Duration {
+	if h.sink != nil {
+		h.sink.HostSpend(d)
+	}
 	if d <= 0 {
 		return h.clock.Now()
 	}

@@ -3,6 +3,7 @@ package vulkan
 import (
 	"fmt"
 
+	"vcomputebench/internal/hw"
 	"vcomputebench/internal/kernels"
 )
 
@@ -146,6 +147,7 @@ func (cb *CommandBuffer) record(c command) error {
 		return fmt.Errorf("%w: command recorded outside Begin/End", ErrValidation)
 	}
 	cb.commands = append(cb.commands, c)
+	cb.device.rec.NextSpend(hw.KnobCost(hw.KnobCommandRecord))
 	cb.device.host.Spend("vkCmd*", cb.device.driver.CommandRecordOverhead)
 	return nil
 }

@@ -3,6 +3,8 @@ package vulkan
 import (
 	"fmt"
 	"time"
+
+	"vcomputebench/internal/hw"
 )
 
 // DescriptorType identifies the kind of resource a descriptor refers to.
@@ -193,6 +195,7 @@ func (d *Device) UpdateDescriptorSets(writes ...WriteDescriptorSet) error {
 		}
 		w.DstSet.buffers[w.DstBinding] = w.BufferInfo.Buffer
 	}
+	d.rec.NextSpend(hw.KnobCostN(hw.KnobDescriptorUpdate, len(writes)))
 	d.host.Spend("vkUpdateDescriptorSets", time.Duration(len(writes))*d.driver.DescriptorUpdateOverhead)
 	return nil
 }

@@ -26,6 +26,7 @@ type Device struct {
 	hw        *hw.Device
 	host      *sim.Host
 	driver    hw.DriverProfile
+	rec       *hw.Recorder
 	queues    map[int][]*Queue
 	validate  bool
 	destroyed bool
@@ -45,6 +46,7 @@ func (pd *PhysicalDevice) CreateDevice(info DeviceCreateInfo) (*Device, error) {
 		hw:       pd.hw,
 		host:     pd.instance.host,
 		driver:   drv,
+		rec:      pd.hw.Recorder(),
 		queues:   make(map[int][]*Queue),
 		validate: pd.instance.ValidationEnabled(),
 	}
@@ -109,6 +111,7 @@ func (d *Device) WaitIdle() {
 	d.host.Spend("vkDeviceWaitIdle", hostCallOverhead)
 	for _, qs := range d.queues {
 		for _, q := range qs {
+			d.rec.WaitQueue(q.hw.Slot())
 			d.host.WaitUntil(q.hw.AvailableAt())
 		}
 	}
@@ -210,6 +213,7 @@ func (d *Device) AllocateMemory(info MemoryAllocateInfo) (*DeviceMemory, error) 
 	} else if info.MemoryTypeIndex != 0 {
 		return nil, fmt.Errorf("%w: unknown memory type index %d", ErrValidation, info.MemoryTypeIndex)
 	}
+	d.rec.NextSpend(hw.KnobCost(hw.KnobAlloc))
 	d.host.Spend("vkAllocateMemory", d.driver.AllocOverhead)
 	alloc, err := d.hw.Memory().Allocate(heap, info.AllocationSize)
 	if err != nil {

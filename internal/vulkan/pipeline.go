@@ -3,6 +3,7 @@ package vulkan
 import (
 	"fmt"
 
+	"vcomputebench/internal/hw"
 	"vcomputebench/internal/kernels"
 	"vcomputebench/internal/spirv"
 )
@@ -161,6 +162,7 @@ func (d *Device) CreateComputePipelines(infos ...ComputePipelineCreateInfo) ([]*
 			return nil, fmt.Errorf("%w: kernel %q needs %d push constant bytes, layout provides %d",
 				ErrValidation, prog.Name, prog.PushConstantWords*4, info.Layout.pushBytes)
 		}
+		d.rec.NextSpend(hw.KnobCost(hw.KnobPipelineCreate))
 		d.host.Spend("vkCreateComputePipelines", d.driver.PipelineCreateTime)
 		pipelines = append(pipelines, &Pipeline{device: d, layout: info.Layout, program: prog, module: mod})
 	}

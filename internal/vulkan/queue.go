@@ -13,13 +13,14 @@ import (
 type Fence struct {
 	device     *Device
 	signalTime time.Duration
+	mark       int32
 	pending    bool
 }
 
 // CreateFence creates an unsignalled fence.
 func (d *Device) CreateFence() *Fence {
 	d.host.Spend("vkCreateFence", hostCallOverhead)
-	return &Fence{device: d}
+	return &Fence{device: d, mark: -1}
 }
 
 // Destroy destroys the fence.
@@ -31,7 +32,9 @@ func (f *Fence) Wait() error {
 	if !f.pending {
 		return fmt.Errorf("%w: waiting on a fence that was never submitted", ErrValidation)
 	}
+	f.device.rec.Wait(f.mark)
 	f.device.host.WaitUntil(f.signalTime)
+	f.device.rec.NextSpend(hw.KnobCost(hw.KnobSync))
 	f.device.host.Spend("sync-latency", f.device.driver.SyncLatency)
 	f.pending = false
 	return nil
@@ -78,10 +81,12 @@ type SubmitStats struct {
 // if provided, signals when the last command completes.
 func (q *Queue) Submit(batches []SubmitInfo, fence *Fence) (SubmitStats, error) {
 	d := q.device
+	d.rec.NextSpend(hw.KnobCost(hw.KnobSubmit))
 	d.host.Spend("vkQueueSubmit", d.driver.SubmitOverhead)
 	earliest := d.host.Now()
 
 	var stats SubmitStats
+	var dispatchRefs []int32
 	for _, batch := range batches {
 		for _, cb := range batch.CommandBuffers {
 			if cb == nil {
@@ -90,7 +95,7 @@ func (q *Queue) Submit(batches []SubmitInfo, fence *Fence) (SubmitStats, error) 
 			if cb.state != CommandBufferExecutable {
 				return stats, fmt.Errorf("%w: submitted command buffer is not in the executable state", ErrValidation)
 			}
-			s, err := q.execute(cb, earliest)
+			s, refs, err := q.execute(cb, earliest)
 			if err != nil {
 				return stats, err
 			}
@@ -99,32 +104,45 @@ func (q *Queue) Submit(batches []SubmitInfo, fence *Fence) (SubmitStats, error) 
 			stats.PipelineBinds += s.PipelineBinds
 			stats.CopyBytes += s.CopyBytes
 			stats.KernelTime += s.KernelTime
+			dispatchRefs = append(dispatchRefs, refs...)
 		}
+	}
+	// The submission's summed dispatch execution time is an observable
+	// benchmarks report (the bandwidth figures); record it so replay can
+	// rebind it.
+	if d.rec != nil && len(dispatchRefs) > 0 {
+		d.rec.ReadSpanSum(dispatchRefs, stats.KernelTime)
 	}
 	stats.CompletionTime = q.hw.AvailableAt()
 	if fence != nil {
 		fence.signalTime = stats.CompletionTime
+		fence.mark = d.rec.QueueMark(q.hw.Slot())
 		fence.pending = true
 	}
 	return stats, nil
 }
 
-// execute replays a command buffer's commands on the hardware queue.
-func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats, error) {
+// execute replays a command buffer's commands on the hardware queue. It
+// returns, alongside the statistics, the trace refs of the dispatches it
+// scheduled (empty when not recording). The device-side overhead between
+// dispatches is accumulated as a symbolic hw.Cost — not a valued duration —
+// so a recorded trace can revalue it under a different driver profile.
+func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats, []int32, error) {
 	d := q.device
 	drv := d.driver
 	var stats SubmitStats
+	var refs []int32
 
 	var boundPipeline *Pipeline
 	var boundSets []*DescriptorSet
 	var pushWords kernels.Words
-	var pendingDeviceTime time.Duration
+	var pending hw.Cost
 
 	for i, c := range cb.commands {
 		switch c.kind {
 		case cmdBindPipeline:
 			boundPipeline = c.pipeline
-			pendingDeviceTime += drv.PipelineBindOverhead
+			pending = pending.Plus(hw.KnobCost(hw.KnobPipelineBind))
 			stats.PipelineBinds++
 			if c.pipeline.layout != nil && len(pushWords) < c.pipeline.layout.pushBytes/4 {
 				grown := make(kernels.Words, c.pipeline.layout.pushBytes/4)
@@ -133,14 +151,14 @@ func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats,
 			}
 		case cmdBindDescriptorSets:
 			boundSets = c.sets
-			pendingDeviceTime += drv.DescriptorUpdateOverhead
+			pending = pending.Plus(hw.KnobCost(hw.KnobDescriptorUpdate))
 		case cmdPushConstants:
 			if drv.PushConstantsAsBuffers {
 				// Driver quirk (§V-B1): the constants are demoted to a buffer
 				// binding, costing a descriptor update per command instead.
-				pendingDeviceTime += drv.DescriptorUpdateOverhead
+				pending = pending.Plus(hw.KnobCost(hw.KnobDescriptorUpdate))
 			} else {
-				pendingDeviceTime += drv.PushConstantOverhead
+				pending = pending.Plus(hw.KnobCost(hw.KnobPushConstant))
 			}
 			need := c.pushOffset + len(c.pushWords)
 			if len(pushWords) < need {
@@ -150,47 +168,50 @@ func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats,
 			}
 			copy(pushWords[c.pushOffset:], c.pushWords)
 		case cmdPipelineBarrier:
-			pendingDeviceTime += drv.BarrierOverhead
+			pending = pending.Plus(hw.KnobCost(hw.KnobBarrier))
 			stats.Barriers++
 		case cmdDispatch:
 			if boundPipeline == nil {
-				return stats, fmt.Errorf("%w: CmdDispatch at command %d without a bound compute pipeline", ErrValidation, i)
+				return stats, refs, fmt.Errorf("%w: CmdDispatch at command %d without a bound compute pipeline", ErrValidation, i)
 			}
 			prog := boundPipeline.program
 			buffers, err := gatherBuffers(prog, boundSets)
 			if err != nil {
-				return stats, fmt.Errorf("command %d (%s): %w", i, prog.Name, err)
+				return stats, refs, fmt.Errorf("command %d (%s): %w", i, prog.Name, err)
 			}
 			cfg := kernels.DispatchConfig{
 				Groups:  c.groups,
 				Buffers: buffers,
 				Push:    pushWords,
 			}
-			run, err := q.hw.ExecuteKernel(earliest, hw.APIVulkan, prog, cfg, pendingDeviceTime)
+			run, err := q.hw.ExecuteKernel(earliest, hw.APIVulkan, prog, cfg, pending)
 			if err != nil {
-				return stats, fmt.Errorf("%w: %v", ErrDeviceLost, err)
+				return stats, refs, fmt.Errorf("%w: %v", ErrDeviceLost, err)
 			}
-			pendingDeviceTime = 0
+			pending = hw.Cost{}
 			stats.Dispatches++
 			stats.KernelTime += run.Exec
+			if d.rec != nil {
+				refs = append(refs, d.rec.QueueMark(q.hw.Slot()))
+			}
 		case cmdCopyBuffer:
 			srcWords, err := c.copySrc.words()
 			if err != nil {
-				return stats, err
+				return stats, refs, err
 			}
 			dstWords, err := c.copyDst.words()
 			if err != nil {
-				return stats, err
+				return stats, refs, err
 			}
 			copy(dstWords, srcWords[:minInt(len(srcWords), len(dstWords))])
-			q.hw.Occupy("barrier+copy-setup", earliest, pendingDeviceTime)
-			pendingDeviceTime = 0
+			q.hw.Occupy("barrier+copy-setup", earliest, pending, hw.APIVulkan)
+			pending = hw.Cost{}
 			q.hw.ExecuteTransfer(earliest, c.copyBytes)
 			stats.CopyBytes += c.copyBytes
 		case cmdFillBuffer:
 			dstWords, err := c.fillDst.words()
 			if err != nil {
-				return stats, err
+				return stats, refs, err
 			}
 			for j := range dstWords {
 				dstWords[j] = c.fillValue
@@ -198,10 +219,14 @@ func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats,
 			q.hw.ExecuteTransfer(earliest, c.fillDst.size)
 		}
 	}
-	if pendingDeviceTime > 0 {
-		q.hw.Occupy("trailing-overhead", earliest, pendingDeviceTime)
+	// Gate on the symbolic cost, not its valuation: the trailing occupation
+	// must appear in the trace whenever overhead was accumulated, so replay
+	// under a profile with different knob values schedules exactly what a
+	// fresh run would.
+	if !pending.IsZero() {
+		q.hw.Occupy("trailing-overhead", earliest, pending, hw.APIVulkan)
 	}
-	return stats, nil
+	return stats, refs, nil
 }
 
 // gatherBuffers resolves the word views for the kernel's bindings from the
@@ -229,6 +254,7 @@ func gatherBuffers(prog *kernels.Program, sets []*DescriptorSet) ([]kernels.Word
 // WaitIdle blocks the host until the queue drains.
 func (q *Queue) WaitIdle() {
 	q.device.host.Spend("vkQueueWaitIdle", hostCallOverhead)
+	q.device.rec.WaitQueue(q.hw.Slot())
 	q.device.host.WaitUntil(q.hw.AvailableAt())
 }
 

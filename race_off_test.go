@@ -1,0 +1,6 @@
+//go:build !race
+
+package vcomputebench_test
+
+// raceDetectorEnabled is false in non-race builds; see race_on_test.go.
+const raceDetectorEnabled = false

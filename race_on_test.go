@@ -1,0 +1,11 @@
+//go:build race
+
+package vcomputebench_test
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector. The exhaustive replay-equality matrix and the wall-clock
+// replay bound skip under it: they are single-threaded determinism checks
+// whose full-suite executions multiply by the detector's slowdown without
+// adding race coverage. The genuinely concurrent paths stay race-checked by
+// TestSuiteCacheParallelDeterminism and core's TestSnapshotCacheConcurrency.
+const raceDetectorEnabled = true

@@ -1,0 +1,44 @@
+package vcomputebench_test
+
+import (
+	"testing"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/experiments"
+)
+
+// Suite-level wall-time benchmarks for the counter-replay snapshot cache.
+// `make bench` runs them at -benchtime 1x and folds the numbers into
+// BENCH_suite.json, so the cached/uncached gap — the value of executing each
+// distinct cell once and replaying it everywhere else — is tracked in review
+// like the dispatch-engine microbenchmarks. The cached variants build a fresh
+// cache per iteration: the measured quantity is a cold full run, not a warm
+// second pass.
+
+func runAllExperiments(b *testing.B, cached bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := experiments.Options{Repetitions: 1, Seed: 42}
+		if cached {
+			opts.Cache = core.NewSnapshotCache(0)
+		}
+		for _, e := range experiments.All() {
+			doc, err := e.Run(opts)
+			if err != nil {
+				b.Fatalf("experiment %s: %v", e.ID, err)
+			}
+			if len(doc.Tables) == 0 && len(doc.Series) == 0 {
+				b.Fatalf("experiment %s produced no output", e.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkRunAll is `vcbench -run all` with the shared snapshot cache:
+// cells shared between figures (the speedup grids reappear in the summary)
+// execute once and replay elsewhere.
+func BenchmarkRunAll(b *testing.B) { runAllExperiments(b, true) }
+
+// BenchmarkRunAllUncached is the pre-cache behaviour (`-cache=false`): every
+// experiment re-executes every cell it needs.
+func BenchmarkRunAllUncached(b *testing.B) { runAllExperiments(b, false) }
