@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"vcomputebench/internal/calibrate"
 	"vcomputebench/internal/core"
@@ -141,9 +142,28 @@ func listAll() {
 	for _, e := range experiments.All() {
 		fmt.Printf("  %-16s %s\n", e.ID, e.Title)
 	}
-	fmt.Println("\nBenchmarks:")
-	for _, b := range core.All() {
-		fmt.Printf("  %-14s %-22s %-16s %s\n", b.Name(), b.Dwarf(), b.Domain(), b.Description())
+	fmt.Println("\nBenchmarks (registry descriptors, per family in figure order):")
+	for _, fam := range core.Families() {
+		ds := core.ByFamily(fam)
+		if len(ds) == 0 {
+			continue
+		}
+		fmt.Printf("  %s:\n", fam)
+		for _, d := range ds {
+			apis := make([]string, len(d.APIs))
+			for i, api := range d.APIs {
+				apis[i] = api.String()
+			}
+			fmt.Printf("    %-12s rank %d  %-24s %-22s %-18s %s\n",
+				d.Name, d.Rank, strings.Join(apis, "/"), d.Dwarf, d.Domain, d.Application)
+			for _, e := range d.Exclusions {
+				scope := "all APIs"
+				if e.API != "" {
+					scope = e.API.String()
+				}
+				fmt.Printf("    %-12s         excluded on %s (%s): %s\n", "", e.Platform, scope, e.Reason)
+			}
+		}
 	}
 	fmt.Println("\nPlatforms:")
 	for _, p := range platforms.All() {
@@ -267,6 +287,11 @@ func (b *baselineSource) doc(id string) (*report.Document, error) {
 // paper's published values (internal/expected) and, when -baseline is given,
 // against a previous JSON run. Any failed check makes the command exit 1.
 func runCheck(id string, opts experiments.Options, baselinePath string, baselineTol float64) error {
+	// Fail fast if the pinned expectations reference benchmarks or experiments
+	// that no longer exist, before spending any time running experiments.
+	if err := expected.Validate(experiments.IDs()); err != nil {
+		return err
+	}
 	selected, err := selectExperiments(id)
 	if err != nil {
 		return err

@@ -12,6 +12,11 @@
 // scattered/coalesced memory efficiency, local-memory promotion factor) and
 // proposes calibrated internal/platforms values that minimise the weighted
 // error. Both are exposed through `vcbench -calibrate` and `make calibrate`.
+//
+// The objective is built from the registry's rodinia family only (via
+// experiments.SpeedupDocument, which runs suite.Rodinia): extension-family
+// workloads never enter the paper-fidelity objective, so growing the zoo
+// cannot move the calibration.
 package calibrate
 
 import (

@@ -6,10 +6,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"sort"
-	"sync"
 	"time"
 
 	"vcomputebench/internal/hw"
@@ -185,9 +182,10 @@ func (r *Result) SetExtraThroughput(name string, usefulBytes float64, kernelTime
 	r.throughputBytes[name] = usefulBytes
 }
 
-// Benchmark is one VComputeBench workload: its Table I metadata, the input
-// configurations used on desktop and mobile platforms, and host
-// implementations for each API.
+// Benchmark is the runner-facing view of one registered workload: its Table I
+// metadata, the input configurations used on desktop and mobile platforms, and
+// host implementations for each API. Workloads register a Descriptor (see
+// descriptor.go); the registry adapts it to this interface.
 type Benchmark interface {
 	// Name is the short benchmark name used in the figures (e.g. "bfs").
 	Name() string
@@ -204,64 +202,6 @@ type Benchmark interface {
 	APIs() []hw.API
 	// Run executes the benchmark once under the given context.
 	Run(ctx *RunContext) (*Result, error)
-}
-
-// registry of benchmarks.
-var (
-	regMu    sync.RWMutex
-	registry = map[string]Benchmark{}
-)
-
-// Register adds a benchmark to the suite. Benchmark packages call this from
-// init; registering the same name twice panics, as that is a programming
-// error.
-func Register(b Benchmark) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	if b == nil || b.Name() == "" {
-		panic("core: Register called with nil or unnamed benchmark")
-	}
-	if _, dup := registry[b.Name()]; dup {
-		panic(fmt.Sprintf("core: benchmark %q registered twice", b.Name()))
-	}
-	registry[b.Name()] = b
-}
-
-// Get returns the benchmark with the given name.
-func Get(name string) (Benchmark, error) {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	b, ok := registry[name]
-	if !ok {
-		return nil, fmt.Errorf("core: unknown benchmark %q", name)
-	}
-	return b, nil
-}
-
-// All returns every registered benchmark sorted by name.
-func All() []Benchmark {
-	regMu.RLock()
-	defer regMu.RUnlock()
-	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	out := make([]Benchmark, 0, len(names))
-	for _, n := range names {
-		out = append(out, registry[n])
-	}
-	return out
-}
-
-// Names returns the sorted names of all registered benchmarks.
-func Names() []string {
-	bs := All()
-	names := make([]string, len(bs))
-	for i, b := range bs {
-		names[i] = b.Name()
-	}
-	return names
 }
 
 // ChecksumWords computes an order-dependent digest of a word buffer,

@@ -19,7 +19,13 @@ import (
 	"math"
 	"strings"
 
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/report"
+
+	// Exclusions are derived from the workload descriptors, so the registry
+	// must be populated whenever this package is linked in.
+	_ "vcomputebench/internal/rodinia/suite"
 )
 
 // Metric is one published scalar with its comparison tolerance.
@@ -133,7 +139,7 @@ type Exclusion struct {
 func Metrics() []Metric {
 	const (
 		calNote     = "calibrated per benchmark against the Fig. 2 bars (see Fig2Bars and internal/calibrate); the tolerance is the enforced fidelity bound"
-		mobileNote  = "mobile calibration reproduces the speedup shape; tolerance tracks the remaining mobile gap"
+		mobileNote  = "Nexus driver profile calibrated by the knob sweep (vcbench -calibrate powervr-g6430 -sweep); the tolerance is the enforced fidelity bound"
 		plateauNote = "stride-1 plateau of the calibrated simulator; the paper publishes the achieved-bandwidth curves in this figure"
 	)
 	vk, cl, cu := "Vulkan", "OpenCL", "CUDA"
@@ -162,7 +168,7 @@ func Metrics() []Metric {
 		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(vk), Unit: "GB/s", Paper: 1.8, RelTol: 0.15, Note: plateauNote},
 		{Experiment: "fig3b", Name: report.MetricAchievedBandwidth(cl), Unit: "GB/s", Paper: 2.2, RelTol: 0.15, Note: plateauNote},
 		// Fig. 4 — mobile Rodinia geomeans (paper: 1.59x Nexus, 0.83x Snapdragon).
-		{Experiment: "fig4a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: mobileNote},
+		{Experiment: "fig4a", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.10, Note: mobileNote},
 		{Experiment: "fig4b", Name: report.MetricGeomeanSpeedup(vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
 		// Headline geomeans (abstract / §VII): 1.53x vs CUDA, 1.66x/1.26x vs
 		// OpenCL on desktop, 1.59x Nexus, 0.83x Snapdragon. Desktop tolerances
@@ -170,7 +176,7 @@ func Metrics() []Metric {
 		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cu), Unit: "x", Paper: 1.53, RelTol: 0.10, Note: calNote},
 		{Experiment: "summary", Name: report.MetricPlatformGeomean("gtx1050ti", vk, cl), Unit: "x", Paper: 1.66, RelTol: 0.10, Note: calNote},
 		{Experiment: "summary", Name: report.MetricPlatformGeomean("rx560", vk, cl), Unit: "x", Paper: 1.26, RelTol: 0.10, Note: calNote},
-		{Experiment: "summary", Name: report.MetricPlatformGeomean("powervr-g6430", vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.25, Note: mobileNote},
+		{Experiment: "summary", Name: report.MetricPlatformGeomean("powervr-g6430", vk, cl), Unit: "x", Paper: 1.59, RelTol: 0.10, Note: mobileNote},
 		{Experiment: "summary", Name: report.MetricPlatformGeomean("adreno506", vk, cl), Unit: "x", Paper: 0.83, RelTol: 0.10},
 	}
 	// The per-benchmark Fig. 2 bars are metrics like any other, so the
@@ -182,17 +188,74 @@ func Metrics() []Metric {
 	return ms
 }
 
-// Exclusions returns the Table IV gaps per experiment: which benchmark/API
-// cells must be absent from the figures, mirroring platforms.*.Quirks.
+// exclusionFigure maps the mobile platforms carrying Table IV entries to the
+// figure whose document must reproduce the gaps.
+var exclusionFigure = map[string]string{
+	platforms.IDPowerVR:   "fig4a",
+	platforms.IDAdreno506: "fig4b",
+}
+
+// Exclusions returns the Table IV gaps per experiment, derived from the
+// workload descriptors: each descriptor's PaperExclusion names the platform
+// the workload fails on, and the platform determines the figure. The registry
+// is the single source of truth; platforms.*.Quirks mirror the same facts for
+// the runtime scheduler, and a platforms test pins the two views equal.
 func Exclusions() []Exclusion {
-	return []Exclusion{
-		// Fig. 4a — Nexus Player (PowerVR G6430).
-		{Experiment: "fig4a", Benchmark: "cfd"},      // dataset does not fit (§V-B2)
-		{Experiment: "fig4a", Benchmark: "backprop"}, // failed to run on Nexus (§V-B2)
-		// Fig. 4b — Snapdragon 625 (Adreno 506).
-		{Experiment: "fig4b", Benchmark: "cfd"},                // dataset does not fit (§V-B2)
-		{Experiment: "fig4b", Benchmark: "lud", API: "OpenCL"}, // OpenCL driver issue (§V-B2)
+	var out []Exclusion
+	for _, fig := range []string{"fig4a", "fig4b"} {
+		for _, d := range core.Descriptors() {
+			for _, e := range d.Exclusions {
+				if exclusionFigure[e.Platform] != fig {
+					continue
+				}
+				out = append(out, Exclusion{Experiment: fig, Benchmark: d.Name, API: e.API.String()})
+			}
+		}
 	}
+	return out
+}
+
+// Validate fails fast when the pinned expectations drift out of sync with the
+// code: every metric and exclusion must reference a known experiment, every
+// benchmark named by a speedup bar or exclusion must have a registered
+// descriptor, and every descriptor exclusion must name a registered platform
+// with a Table IV figure mapping. cmd/vcbench runs it before any check and
+// TestPaperFidelity before comparing documents, so a renamed workload or
+// experiment breaks loudly instead of silently skipping its expectations.
+func Validate(experimentIDs []string) error {
+	known := make(map[string]bool, len(experimentIDs))
+	for _, id := range experimentIDs {
+		known[id] = true
+	}
+	for _, m := range Metrics() {
+		if !known[m.Experiment] {
+			return fmt.Errorf("expected: metric %q references unknown experiment %q", m.Name, m.Experiment)
+		}
+	}
+	for _, b := range Fig2Bars() {
+		if _, err := core.Describe(b.Benchmark); err != nil {
+			return fmt.Errorf("expected: %s speedup bar: %w", b.Experiment, err)
+		}
+	}
+	for _, e := range Exclusions() {
+		if !known[e.Experiment] {
+			return fmt.Errorf("expected: exclusion %q references unknown experiment %q", e.Benchmark, e.Experiment)
+		}
+		if _, err := core.Describe(e.Benchmark); err != nil {
+			return fmt.Errorf("expected: exclusion in %s: %w", e.Experiment, err)
+		}
+	}
+	for _, d := range core.Descriptors() {
+		for _, e := range d.Exclusions {
+			if _, err := platforms.ByID(e.Platform); err != nil {
+				return fmt.Errorf("expected: descriptor %s excludes unknown platform %q", d.Name, e.Platform)
+			}
+			if _, ok := exclusionFigure[e.Platform]; !ok {
+				return fmt.Errorf("expected: descriptor %s excludes platform %q, which has no Table IV figure mapping", d.Name, e.Platform)
+			}
+		}
+	}
+	return nil
 }
 
 // Experiments returns the experiment IDs with recorded expectations, in

@@ -11,7 +11,6 @@ import (
 
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/hw"
-	"vcomputebench/internal/micro"
 	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/report"
 	"vcomputebench/internal/rodinia/suite"
@@ -94,6 +93,7 @@ func All() []Experiment {
 		{ID: "summary", Title: "Headline geometric-mean speedups", Description: "Geomean Vulkan speedups per platform (paper: 1.53x vs CUDA, 1.26-1.66x vs OpenCL desktop, 1.59x Nexus, 0.83x Snapdragon)", Run: runSummary},
 		{ID: "ablation-cmdbuf", Title: "Ablation: single command buffer vs per-iteration submits", Description: "Quantifies the Vulkan optimisation of §IV-C / §VI-B", Run: runAblationCmdBuf},
 		{ID: "ablation-push", Title: "Ablation: push constants vs parameter buffer binds", Description: "Quantifies the Snapdragon push-constant driver quirk of §V-B1", Run: runAblationPush},
+		{ID: "extensions", Title: "Extension workloads beyond the paper's suite", Description: "Speedup and bandwidth documents for registry extensions (not part of the paper's figures)", Run: runExtensions},
 	}
 }
 
@@ -117,13 +117,13 @@ func IDs() []string {
 }
 
 func runTable1(opts Options) (*report.Document, error) {
-	benchmarks, err := suite.Rodinia()
-	if err != nil {
-		return nil, err
-	}
 	t := &report.Table{Title: "Table I: VComputeBench benchmarks", Columns: []string{"Name", "Application", "Dwarf", "Domain"}}
-	for _, b := range benchmarks {
-		t.AddRow(b.Name(), b.Description(), b.Dwarf(), b.Domain())
+	for _, name := range core.FamilyNames(core.FamilyRodinia) {
+		d, err := core.Describe(name)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d.Name, d.Application, d.Dwarf, d.Domain)
 	}
 	return &report.Document{ID: "table1", Title: t.Title, Tables: []*report.Table{t}}, nil
 }
@@ -216,7 +216,7 @@ func BandwidthDocument(id string, p *platforms.Platform, apis []hw.API, opts Opt
 			if !ok {
 				return nil, missingResultError(suiteRes, b.Name(), w.Label, api)
 			}
-			series.Set(api.String(), i, res.ExtraValue(micro.ExtraBandwidthGBps))
+			series.Set(api.String(), i, res.ExtraValue(core.ExtraBandwidthGBps))
 			apiResults = append(apiResults, res)
 		}
 		// The stride-1 plateau is the paper's "achieved bandwidth".
@@ -285,11 +285,18 @@ func figSpeedups(id, platformID string, apis []hw.API) func(Options) (*report.Do
 // sweep uses it to evaluate candidate driver profiles without mutating the
 // canonical platforms.
 func SpeedupDocument(id string, p *platforms.Platform, apis []hw.API, opts Options) (*report.Document, error) {
-	opts = opts.defaults()
 	benchmarks, err := suite.Rodinia()
 	if err != nil {
 		return nil, err
 	}
+	return speedupDocument(id, p, benchmarks, apis, opts)
+}
+
+// speedupDocument renders a speedup figure over any benchmark list; Figures 2
+// and 4 pass the Rodinia suite and the extensions experiment passes the
+// extension family, so both share one reporting pipeline.
+func speedupDocument(id string, p *platforms.Platform, benchmarks []core.Benchmark, apis []hw.API, opts Options) (*report.Document, error) {
+	opts = opts.defaults()
 	ordered, unranked := orderBenchmarks(benchmarks)
 	runner := opts.Runner()
 	suiteRes, err := runner.RunSuite(p, ordered, apis)
@@ -389,30 +396,61 @@ func benchmarkSpeedup(s *core.SuiteResult, b core.Benchmark, class hw.Class, api
 	return g, true
 }
 
-// orderBenchmarks sorts benchmarks into the x-axis order of Figures 2 and 4.
-// Benchmarks absent from suite.FigureOrder() sort after every ranked one —
-// a zero rank would collide with the real first benchmark and shuffle it out
-// of position — and are reported so the omission is visible in the output.
+// orderBenchmarks sorts benchmarks into figure x-axis order by descriptor
+// rank. Benchmarks without a registered descriptor sort after every ranked
+// one — a zero rank would collide with the real first benchmark and shuffle
+// it out of position — and are reported so the omission is visible in the
+// output.
 func orderBenchmarks(bs []core.Benchmark) (ordered []core.Benchmark, unranked []string) {
-	order := suite.FigureOrder()
-	rank := make(map[string]int, len(order))
-	for i, n := range order {
-		rank[n] = i
-	}
 	pos := func(b core.Benchmark) int {
-		if r, ok := rank[b.Name()]; ok {
-			return r
+		if d, err := core.Describe(b.Name()); err == nil {
+			return d.Rank
 		}
-		return len(order) // unknown: after every ranked benchmark, stable among themselves
+		return math.MaxInt // unregistered: after every ranked benchmark, stable among themselves
 	}
 	ordered = append([]core.Benchmark(nil), bs...)
 	sort.SliceStable(ordered, func(i, j int) bool { return pos(ordered[i]) < pos(ordered[j]) })
 	for _, b := range ordered {
-		if _, ok := rank[b.Name()]; !ok {
+		if _, err := core.Describe(b.Name()); err != nil {
 			unranked = append(unranked, b.Name())
 		}
 	}
 	return ordered, unranked
+}
+
+// runExtensions renders every extension-family workload — the registry beyond
+// the paper's Table I suite — as a speedup figure plus an analytic-bandwidth
+// table on the desktop reference platform. It reuses the Figure 2/4 reporting
+// pipeline, so a new extension only has to register a descriptor to appear
+// here; it carries no paper expectations, and the fidelity checks and the
+// calibration objective ignore it.
+func runExtensions(opts Options) (*report.Document, error) {
+	p, err := platforms.ByID(platforms.IDGTX1050Ti)
+	if err != nil {
+		return nil, err
+	}
+	benchmarks, err := suite.Extensions()
+	if err != nil {
+		return nil, err
+	}
+	doc, err := speedupDocument("extensions", p, benchmarks,
+		[]hw.API{hw.APIOpenCL, hw.APIVulkan, hw.APICUDA}, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:   "Analytic bandwidth (traffic-model bytes / kernel time)",
+		Columns: []string{"Benchmark", "Workload", "API", "GB/s"},
+	}
+	for _, res := range doc.Results {
+		if bw := res.ExtraValue(core.ExtraBandwidthGBps); bw > 0 {
+			t.AddRow(res.Benchmark, res.Workload, res.API.String(), fmt.Sprintf("%.2f", bw))
+		}
+	}
+	doc.Tables = append(doc.Tables, t)
+	doc.Notes = append(doc.Notes,
+		"extension family: not part of the paper's figures or the calibration objective")
+	return doc, nil
 }
 
 // runSummary reproduces the headline geometric means quoted in the abstract

@@ -3,16 +3,22 @@ package kernels_test
 // Microbenchmarks for the dispatch engine's measurement hot path
 // (kernels.Execute) over representative kernels: the vectoradd
 // microbenchmark (both a sampled large dispatch and an exact small one),
-// the bfs frontier-expansion kernel (exact, irregular accesses) and the
-// lud internal kernel (2-D grid, shared-memory tile model).
+// the bfs frontier-expansion kernel (exact, irregular accesses), the
+// lud internal kernel (2-D grid, shared-memory tile model) and the
+// extension-family kernels (gemm's ALU-dense tiled multiply, reduction's
+// barrier-heavy shared tree, srad's stencil loads).
 //
 // `make bench` runs these with -benchmem and folds the numbers into
 // BENCH_dispatch.json (ns/op, B/op, allocs/op) next to the pre-optimisation
 // baseline, so dispatch-engine perf regressions are visible in review.
 
 import (
+	"math"
 	"testing"
 
+	_ "vcomputebench/internal/extensions/gemm"
+	_ "vcomputebench/internal/extensions/reduction"
+	_ "vcomputebench/internal/extensions/srad"
 	"vcomputebench/internal/kernels"
 	"vcomputebench/internal/micro"
 	_ "vcomputebench/internal/rodinia/bfs"
@@ -136,6 +142,69 @@ func BenchmarkExecuteBFSKernel1(b *testing.B) {
 		}
 	}
 	runExecute(b, p, cfg, reset)
+}
+
+// BenchmarkExecuteGEMMTiled multiplies two 128x128 matrices with the tiled
+// extension kernel: an 8x8 grid of 16x16 workgroups, each staging tiles of A
+// and B through shared memory. The per-invocation inner loop makes it the most
+// ALU-dense kernel on the measured path.
+func BenchmarkExecuteGEMMTiled(b *testing.B) {
+	p := mustLookup(b, "gemm_tiled")
+	const n = 128
+	a := make(kernels.Words, n*n)
+	bm := make(kernels.Words, n*n)
+	c := make(kernels.Words, n*n)
+	for i := range a {
+		a[i] = math.Float32bits(float32(i%13) - 6)
+		bm[i] = math.Float32bits(float32(i%7) - 3)
+	}
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.D2(n/16, n/16),
+		Buffers:     []kernels.Words{a, bm, c},
+		Push:        kernels.Words{uint32(n)},
+		Parallelism: benchParallelism,
+	}
+	runExecute(b, p, cfg, nil)
+}
+
+// BenchmarkExecuteReductionSum runs one pass of the extension sum reduction
+// over 256K elements (512 workgroups): a barrier-heavy shared-memory tree with
+// guarded global loads.
+func BenchmarkExecuteReductionSum(b *testing.B) {
+	p := mustLookup(b, "reduction_sum")
+	const n = 256 << 10
+	in := make(kernels.Words, n)
+	out := make(kernels.Words, n/512)
+	for i := range in {
+		in[i] = math.Float32bits(float32(i%97) / 97)
+	}
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.D1(n / 512),
+		Buffers:     []kernels.Words{in, out},
+		Push:        kernels.Words{uint32(n)},
+		Parallelism: benchParallelism,
+	}
+	runExecute(b, p, cfg, nil)
+}
+
+// BenchmarkExecuteSRADCoeff runs the srad extension's diffusion-coefficient
+// kernel over a 128x128 image (8x8 grid of 16x16 workgroups): five clamped
+// global loads and five stores per invocation, a stencil-heavy access pattern.
+func BenchmarkExecuteSRADCoeff(b *testing.B) {
+	p := mustLookup(b, "srad1_coeff")
+	const n = 128
+	img := make(kernels.Words, n*n)
+	for i := range img {
+		img[i] = math.Float32bits(float32(i%31)/31 + 0.05)
+	}
+	mk := func() kernels.Words { return make(kernels.Words, n*n) }
+	cfg := kernels.DispatchConfig{
+		Groups:      kernels.D2(n/16, n/16),
+		Buffers:     []kernels.Words{img, mk(), mk(), mk(), mk(), mk()},
+		Push:        kernels.Words{uint32(n), math.Float32bits(0.05)},
+		Parallelism: benchParallelism,
+	}
+	runExecute(b, p, cfg, nil)
 }
 
 // BenchmarkExecuteLUDInternal runs one trailing-update step of the blocked LU

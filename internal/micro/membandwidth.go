@@ -14,13 +14,27 @@ import (
 	"vcomputebench/internal/vulkan/vkutil"
 )
 
+// The strided-memory-access microbenchmark of §V-A1: a fixed number of work
+// items each read one element at a configurable stride, and the achieved
+// bandwidth (useful bytes / kernel time) is reported per stride. It produces
+// Figures 1 and 3.
 func init() {
-	core.Register(&MemBandwidth{})
+	core.Register(core.Descriptor{
+		Name:        "membandwidth",
+		Family:      core.FamilyMicro,
+		Application: "Strided memory access bandwidth sweep (Figures 1 and 3)",
+		Dwarf:       "Structured Grid",
+		Domain:      "Microbenchmark",
+		Rank:        0,
+		APIs:        hw.AllAPIs(),
+		Workloads:   memBandwidthWorkloads,
+		Run:         runMemBandwidth,
+	})
 }
 
-// ExtraBandwidthGBps is the Result.Extra key under which MemBandwidth reports
-// the achieved bandwidth.
-const ExtraBandwidthGBps = "bandwidth_gbps"
+// ExtraBandwidthGBps is the Result.Extra key under which membandwidth reports
+// the achieved bandwidth (an alias of the canonical core key).
+const ExtraBandwidthGBps = core.ExtraBandwidthGBps
 
 // Default thread counts and iteration count of the bandwidth sweep.
 const (
@@ -29,37 +43,14 @@ const (
 	bandwidthIterations     = 8
 )
 
-// MemBandwidth is the strided-memory-access microbenchmark of §V-A1: a fixed
-// number of work items each read one element at a configurable stride, and the
-// achieved bandwidth (useful bytes / kernel time) is reported per stride. It
-// produces Figures 1 and 3.
-type MemBandwidth struct{}
-
-// Name implements core.Benchmark.
-func (*MemBandwidth) Name() string { return "membandwidth" }
-
-// Dwarf implements core.Benchmark.
-func (*MemBandwidth) Dwarf() string { return "Structured Grid" }
-
-// Domain implements core.Benchmark.
-func (*MemBandwidth) Domain() string { return "Microbenchmark" }
-
-// Description implements core.Benchmark.
-func (*MemBandwidth) Description() string {
-	return "Strided memory access bandwidth sweep (Figures 1 and 3)"
-}
-
-// APIs implements core.Benchmark.
-func (*MemBandwidth) APIs() []hw.API { return hw.AllAPIs() }
-
 // DesktopStrides are the stride values on the x-axis of Figure 1.
 func DesktopStrides() []int { return []int{1, 4, 8, 12, 16, 20, 24, 28, 32} }
 
 // MobileStrides are the stride values on the x-axis of Figure 3.
 func MobileStrides() []int { return []int{1, 2, 4, 6, 8, 10, 12, 14, 16} }
 
-// Workloads implements core.Benchmark: one workload per stride.
-func (*MemBandwidth) Workloads(class hw.Class) []core.Workload {
+// memBandwidthWorkloads returns one workload per stride.
+func memBandwidthWorkloads(class hw.Class) []core.Workload {
 	strides := DesktopStrides()
 	threads := desktopBandwidthThreads
 	if class == hw.ClassMobile {
@@ -76,8 +67,7 @@ func (*MemBandwidth) Workloads(class hw.Class) []core.Workload {
 	return out
 }
 
-// Run implements core.Benchmark.
-func (m *MemBandwidth) Run(ctx *core.RunContext) (*core.Result, error) {
+func runMemBandwidth(ctx *core.RunContext) (*core.Result, error) {
 	stride := ctx.Workload.Param("stride", 1)
 	threads := ctx.Workload.Param("threads", desktopBandwidthThreads)
 	iters := ctx.Workload.Param("iterations", bandwidthIterations)
@@ -96,11 +86,11 @@ func (m *MemBandwidth) Run(ctx *core.RunContext) (*core.Result, error) {
 	)
 	switch ctx.API {
 	case hw.APIVulkan:
-		out, kernelTime, err = m.runVulkan(ctx, threads, nIn, stride, iters, in)
+		out, kernelTime, err = memBandwidthVulkan(ctx, threads, nIn, stride, iters, in)
 	case hw.APICUDA:
-		out, kernelTime, err = m.runCUDA(ctx, threads, nIn, stride, iters, in)
+		out, kernelTime, err = memBandwidthCUDA(ctx, threads, nIn, stride, iters, in)
 	case hw.APIOpenCL:
-		out, kernelTime, err = m.runOpenCL(ctx, threads, nIn, stride, iters, in)
+		out, kernelTime, err = memBandwidthOpenCL(ctx, threads, nIn, stride, iters, in)
 	default:
 		return nil, fmt.Errorf("membandwidth: unsupported API %s", ctx.API)
 	}
@@ -130,7 +120,7 @@ func (m *MemBandwidth) Run(ctx *core.RunContext) (*core.Result, error) {
 	return res, nil
 }
 
-func (m *MemBandwidth) runVulkan(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
+func memBandwidthVulkan(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
 	env, err := vkutil.Setup(ctx.Host, ctx.Device)
 	if err != nil {
 		return nil, 0, err
@@ -212,7 +202,7 @@ func (m *MemBandwidth) runVulkan(ctx *core.RunContext, threads, nIn, stride, ite
 	return out[:threads], kernelTime, nil
 }
 
-func (m *MemBandwidth) runCUDA(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
+func memBandwidthCUDA(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
 	env, err := bench.SetupCUDA(ctx.Host, ctx.Device)
 	if err != nil {
 		return nil, 0, err
@@ -267,7 +257,7 @@ func (m *MemBandwidth) runCUDA(ctx *core.RunContext, threads, nIn, stride, iters
 	return kernels.WordsToF32(out), kernelTime, nil
 }
 
-func (m *MemBandwidth) runOpenCL(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
+func memBandwidthOpenCL(ctx *core.RunContext, threads, nIn, stride, iters int, in []float32) ([]float32, time.Duration, error) {
 	env, err := bench.SetupOpenCL(ctx.Host, ctx.Device, KernelStridedRead)
 	if err != nil {
 		return nil, 0, err

@@ -76,7 +76,7 @@ func TestBandwidthDecreasesWithStride(t *testing.T) {
 func TestBandwidthCUDAFasterThanVulkanAtUnitStride(t *testing.T) {
 	// §V-A1: at unit stride CUDA achieves 84% of peak vs 79.6% for Vulkan on
 	// the GTX 1050 Ti. Use the benchmark's own unit-stride workload.
-	wl := (&MemBandwidth{}).Workloads(hw.ClassDesktop)[0]
+	wl := memBandwidthWorkloads(hw.ClassDesktop)[0]
 	wl = wl.WithParam("iterations", 32) // long run so the first-launch latency is amortised
 	cu := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APICUDA, wl).ExtraValue(ExtraBandwidthGBps)
 	vk := runOnce(t, platforms.IDGTX1050Ti, "membandwidth", hw.APIVulkan, wl).ExtraValue(ExtraBandwidthGBps)
@@ -86,12 +86,11 @@ func TestBandwidthCUDAFasterThanVulkanAtUnitStride(t *testing.T) {
 }
 
 func TestMembandwidthWorkloadsCoverPaperStrides(t *testing.T) {
-	var mb MemBandwidth
-	desk := mb.Workloads(hw.ClassDesktop)
+	desk := memBandwidthWorkloads(hw.ClassDesktop)
 	if len(desk) != len(DesktopStrides()) {
 		t.Fatalf("desktop workload count = %d, want %d", len(desk), len(DesktopStrides()))
 	}
-	mob := mb.Workloads(hw.ClassMobile)
+	mob := memBandwidthWorkloads(hw.ClassMobile)
 	if len(mob) != len(MobileStrides()) {
 		t.Fatalf("mobile workload count = %d, want %d", len(mob), len(MobileStrides()))
 	}

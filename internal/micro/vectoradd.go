@@ -13,33 +13,31 @@ import (
 	"vcomputebench/internal/vulkan/vkutil"
 )
 
+// The vector-addition microbenchmark of §IV-A: Z[i] = X[i] + Y[i] for one
+// million elements in the paper's Listing 1.
 func init() {
-	core.Register(&VectorAdd{})
+	core.Register(core.Descriptor{
+		Name:        "vectoradd",
+		Family:      core.FamilyMicro,
+		Application: "Element-wise addition of two vectors (the paper's Listing 1 example)",
+		Dwarf:       "Dense Linear Algebra",
+		Domain:      "Microbenchmark",
+		Rank:        1,
+		APIs:        hw.AllAPIs(),
+		Workloads:   vectorAddWorkloads,
+		Traffic:     vectorAddTraffic,
+		Run:         runVectorAdd,
+	})
 }
 
-// VectorAdd is the vector-addition microbenchmark of §IV-A: Z[i] = X[i] + Y[i]
-// for one million elements in the paper's Listing 1.
-type VectorAdd struct{}
-
-// Name implements core.Benchmark.
-func (*VectorAdd) Name() string { return "vectoradd" }
-
-// Dwarf implements core.Benchmark.
-func (*VectorAdd) Dwarf() string { return "Dense Linear Algebra" }
-
-// Domain implements core.Benchmark.
-func (*VectorAdd) Domain() string { return "Microbenchmark" }
-
-// Description implements core.Benchmark.
-func (*VectorAdd) Description() string {
-	return "Element-wise addition of two vectors (the paper's Listing 1 example)"
+// vectorAddTraffic models the kernel exactly: two 4-byte loads and one 4-byte
+// store per element, one dispatch.
+func vectorAddTraffic(w core.Workload) core.Traffic {
+	n := float64(w.Param("n", 1<<20))
+	return core.Traffic{GlobalLoadBytes: 8 * n, GlobalStoreBytes: 4 * n, Dispatches: 1}
 }
 
-// APIs implements core.Benchmark.
-func (*VectorAdd) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark.
-func (*VectorAdd) Workloads(class hw.Class) []core.Workload {
+func vectorAddWorkloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "256K", Params: map[string]int{"n": 256 << 10}},
@@ -53,8 +51,7 @@ func (*VectorAdd) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (v *VectorAdd) Run(ctx *core.RunContext) (*core.Result, error) {
+func runVectorAdd(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 1<<20)
 	x := bench.RandomF32(ctx.Seed, n, -1, 1)
 	y := bench.RandomF32(ctx.Seed+1, n, -1, 1)
@@ -66,11 +63,11 @@ func (v *VectorAdd) Run(ctx *core.RunContext) (*core.Result, error) {
 	)
 	switch ctx.API {
 	case hw.APIVulkan:
-		z, kernelTime, err = v.runVulkan(ctx, n, x, y)
+		z, kernelTime, err = vectorAddVulkan(ctx, n, x, y)
 	case hw.APICUDA:
-		z, kernelTime, err = v.runCUDA(ctx, n, x, y)
+		z, kernelTime, err = vectorAddCUDA(ctx, n, x, y)
 	case hw.APIOpenCL:
-		z, kernelTime, err = v.runOpenCL(ctx, n, x, y)
+		z, kernelTime, err = vectorAddOpenCL(ctx, n, x, y)
 	default:
 		return nil, fmt.Errorf("vectoradd: unsupported API %s", ctx.API)
 	}
@@ -93,7 +90,7 @@ func (v *VectorAdd) Run(ctx *core.RunContext) (*core.Result, error) {
 	return res, nil
 }
 
-func (v *VectorAdd) runVulkan(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
+func vectorAddVulkan(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
 	env, err := vkutil.Setup(ctx.Host, ctx.Device)
 	if err != nil {
 		return nil, 0, err
@@ -168,7 +165,7 @@ func (v *VectorAdd) runVulkan(ctx *core.RunContext, n int, x, y []float32) ([]fl
 	return z[:n], kernelTime, nil
 }
 
-func (v *VectorAdd) runCUDA(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
+func vectorAddCUDA(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
 	env, err := bench.SetupCUDA(ctx.Host, ctx.Device)
 	if err != nil {
 		return nil, 0, err
@@ -217,7 +214,7 @@ func (v *VectorAdd) runCUDA(ctx *core.RunContext, n int, x, y []float32) ([]floa
 	return kernels.WordsToF32(out), kernelTime, nil
 }
 
-func (v *VectorAdd) runOpenCL(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
+func vectorAddOpenCL(ctx *core.RunContext, n int, x, y []float32) ([]float32, time.Duration, error) {
 	env, err := bench.SetupOpenCL(ctx.Host, ctx.Device, KernelVectorAdd)
 	if err != nil {
 		return nil, 0, err

@@ -368,15 +368,15 @@ func PowerVRG6430() *Platform {
 				hw.APIOpenCL: {
 					Supported:                 true,
 					Version:                   "OpenCL 1.2",
-					KernelLaunchOverhead:      70 * time.Microsecond,
-					SyncLatency:               80 * time.Microsecond,
+					KernelLaunchOverhead:      90999 * time.Nanosecond,
+					SyncLatency:               104 * time.Microsecond,
 					SubmitOverhead:            25 * time.Microsecond,
 					PipelineBindOverhead:      7 * time.Microsecond,
 					DescriptorUpdateOverhead:  2500 * time.Nanosecond,
 					PushConstantOverhead:      2500 * time.Nanosecond,
 					CompilerEfficiency:        0.85,
 					MemoryEfficiency:          0.89,
-					ScatteredMemoryEfficiency: 0.33,
+					ScatteredMemoryEfficiency: 0.247,
 					LocalMemoryAutoOpt:        false,
 					JITCompileTime:            220 * time.Millisecond,
 					PipelineCreateTime:        500 * time.Microsecond,
@@ -387,7 +387,7 @@ func PowerVRG6430() *Platform {
 					Supported:                 true,
 					Version:                   "API Version 1.0.30",
 					SubmitOverhead:            80 * time.Microsecond,
-					SyncLatency:               50 * time.Microsecond,
+					SyncLatency:               55 * time.Microsecond,
 					CommandRecordOverhead:     500 * time.Nanosecond,
 					PipelineBindOverhead:      6 * time.Microsecond,
 					BarrierOverhead:           2 * time.Microsecond,

@@ -18,6 +18,7 @@ import (
 	"vcomputebench/internal/glsl"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/rodinia"
 )
 
@@ -55,7 +56,20 @@ func init() {
 		Fn:                adjustWeightsKernel,
 	})
 	glsl.RegisterSource(kernelAdjust, glslAdjust)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "backprop",
+		Family:      core.FamilyRodinia,
+		Application: "One training step of a three-layer perceptron (Rodinia backprop)",
+		Dwarf:       "Unstructured Grid",
+		Domain:      "Deep Learning",
+		Rank:        1,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Exclusions: []core.PaperExclusion{
+			{Platform: platforms.IDPowerVR, Reason: "OpenCL and Vulkan implementations failed to run on Nexus (paper §V-B2)"},
+		},
+		Run: run,
+	})
 }
 
 // layerForwardKernel computes, per workgroup of 256 inputs, the partial sums
@@ -241,29 +255,9 @@ func reference(n int, input, weights []float32) ([]float32, [HiddenUnits]float64
 	return updated, hidden
 }
 
-// Benchmark implements core.Benchmark for backprop.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "backprop" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Unstructured Grid" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Deep Learning" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "One training step of a three-layer perceptron (Rodinia backprop)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. The label is the number of input
+// workloads: The label is the number of input
 // nodes.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "208", Params: map[string]int{"n": 208}},
@@ -277,8 +271,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 4<<10)
 	input := bench.RandomF32(ctx.Seed, n, 0, 1)
 	weights := bench.RandomF32(ctx.Seed+1, n*HiddenUnits, -0.5, 0.5)

@@ -49,7 +49,17 @@ func init() {
 		Fn:                frontierKernel,
 	})
 	glsl.RegisterSource(kernel2, glslKernel2)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "bfs",
+		Family:      core.FamilyRodinia,
+		Application: "Level-synchronous breadth-first search over a random graph (Rodinia bfs)",
+		Dwarf:       "Graph Traversal",
+		Domain:      "Graph Theory",
+		Rank:        0,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // expandKernel visits the neighbours of every node in the current frontier.
@@ -222,28 +232,7 @@ func (b *algorithm) NextPhase(phase int, io rodinia.IO) ([]rodinia.Step, error) 
 	}, nil
 }
 
-// Benchmark implements core.Benchmark for bfs.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "bfs" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Graph Traversal" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Graph Theory" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Level-synchronous breadth-first search over a random graph (Rodinia bfs)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "4k", Params: map[string]int{"nodes": 4 << 10}},
@@ -259,8 +248,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("nodes", 4<<10)
 	g := generate(ctx.Seed, n)
 	alg := &algorithm{g: g}

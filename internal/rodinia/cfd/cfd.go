@@ -22,6 +22,7 @@ import (
 	"vcomputebench/internal/glsl"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/rodinia"
 )
 
@@ -68,7 +69,21 @@ func init() {
 		Fn:                timeStepKernel,
 	})
 	glsl.RegisterSource(kernelTimeStep, glslTimeStep)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "cfd",
+		Family:      core.FamilyRodinia,
+		Application: "Finite-volume solver for compressible flow on an unstructured grid (Rodinia cfd/euler3d)",
+		Dwarf:       "Unstructured Grid",
+		Domain:      "Fluid Dynamics",
+		Rank:        2,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Exclusions: []core.PaperExclusion{
+			{Platform: platforms.IDPowerVR, Reason: "dataset does not fit in device memory (paper §V-B2)"},
+			{Platform: platforms.IDAdreno506, Reason: "dataset does not fit in device memory (paper §V-B2)"},
+		},
+		Run: run,
+	})
 }
 
 // stepFactorKernel computes the local time-step factor from the element's
@@ -266,29 +281,9 @@ func (c *algorithm) NextPhase(phase int, io rodinia.IO) ([]rodinia.Step, error) 
 	return steps, nil
 }
 
-// Benchmark implements core.Benchmark for cfd.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "cfd" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Unstructured Grid" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Fluid Dynamics" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Finite-volume solver for compressible flow on an unstructured grid (Rodinia cfd/euler3d)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. The labels are the element counts of
+// workloads: The labels are the element counts of
 // the three Rodinia fvcorr domains.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		// The paper could not fit cfd on either mobile platform (§V-B2); the
 		// platform quirks exclude it, but a small configuration is still
@@ -304,8 +299,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	nelr := ctx.Workload.Param("nelr", 97_000)
 	iters := ctx.Workload.Param("iterations", iterations)
 	m := generate(ctx.Seed, nelr)

@@ -45,7 +45,17 @@ func init() {
 		Fn:                fan2Kernel,
 	})
 	glsl.RegisterSource(kernelFan2, glslFan2)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "gaussian",
+		Family:      core.FamilyRodinia,
+		Application: "Gaussian elimination solver for dense linear systems (Rodinia gaussian)",
+		Dwarf:       "Dense Linear Algebra",
+		Domain:      "Linear Algebra",
+		Rank:        3,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // fan1Kernel computes the multiplier column for elimination step t:
@@ -192,30 +202,10 @@ func referenceSolve(n int, a, b []float32) []float32 {
 	return backSubstitute(n, ac, bc)
 }
 
-// Benchmark implements core.Benchmark for gaussian.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "gaussian" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Dense Linear Algebra" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Linear Algebra" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Gaussian elimination solver for dense linear systems (Rodinia gaussian)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. The desktop matrix orders are scaled
+// workloads: The desktop matrix orders are scaled
 // down from the paper's 208/1024/2048 to keep functional simulation tractable
 // (see EXPERIMENTS.md); the trend across three increasing sizes is preserved.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "128", Params: map[string]int{"n": 128}},
@@ -229,8 +219,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 208)
 	a, b := generate(ctx.Seed, n)
 	alg := &algorithm{n: n, a: a, b: b}

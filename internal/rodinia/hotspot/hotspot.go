@@ -43,7 +43,17 @@ func init() {
 		Fn:                hotspotKernel,
 	})
 	glsl.RegisterSource(kernelName, glslHotspot)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "hotspot",
+		Family:      core.FamilyRodinia,
+		Application: "Thermal simulation estimating processor temperature from a floor plan and power trace (Rodinia hotspot)",
+		Dwarf:       "Structured Grid",
+		Domain:      "Physics",
+		Rank:        4,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // hotspotKernel advances the temperature grid by one step.
@@ -186,30 +196,10 @@ func reference(n, iters int, temp, power []float32) []float32 {
 	return src
 }
 
-// Benchmark implements core.Benchmark for hotspot.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "hotspot" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Structured Grid" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Physics" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Thermal simulation estimating processor temperature from a floor plan and power trace (Rodinia hotspot)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. Desktop labels follow the paper's
+// workloads: Desktop labels follow the paper's
 // 512-08 / 512-16 / 512-32 (grid order - pyramid height); the number of
 // simulated steps is four times the pyramid height.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "128", Params: map[string]int{"n": 128, "iterations": 16}},
@@ -223,8 +213,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 512)
 	iters := ctx.Workload.Param("iterations", 32)
 	temp := bench.RandomF32(ctx.Seed, n*n, 323, 342)

@@ -16,6 +16,7 @@ import (
 	"vcomputebench/internal/glsl"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/kernels"
+	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/rodinia"
 )
 
@@ -57,7 +58,20 @@ func init() {
 		Fn:                  internalKernel,
 	})
 	glsl.RegisterSource(kernelInternal, glslInternal)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "lud",
+		Family:      core.FamilyRodinia,
+		Application: "Blocked LU decomposition of a dense matrix (Rodinia lud)",
+		Dwarf:       "Dense Linear Algebra",
+		Domain:      "Linear Algebra",
+		Rank:        5,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Exclusions: []core.PaperExclusion{
+			{Platform: platforms.IDAdreno506, API: hw.APIOpenCL, Reason: "OpenCL driver issue reported in §V-B2"},
+		},
+		Run: run,
+	})
 }
 
 // diagonalKernel factors the diagonal block (t,t) in place (Doolittle, no
@@ -223,30 +237,10 @@ func reference(n int, src []float32) []float32 {
 	return a
 }
 
-// Benchmark implements core.Benchmark for lud.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "lud" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Dense Linear Algebra" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Linear Algebra" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Blocked LU decomposition of a dense matrix (Rodinia lud)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. Matrix orders are scaled down from the
+// workloads: Matrix orders are scaled down from the
 // paper's 256/512/2048 to keep functional simulation tractable (see
 // EXPERIMENTS.md).
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "64", Params: map[string]int{"n": 64}},
@@ -260,8 +254,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 128)
 	if n%blockSize != 0 {
 		return nil, fmt.Errorf("lud: matrix order %d is not a multiple of the block size %d", n, blockSize)

@@ -36,7 +36,17 @@ func init() {
 		Fn:                euclidKernel,
 	})
 	glsl.RegisterSource(kernelName, glslEuclid)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "nn",
+		Family:      core.FamilyRodinia,
+		Application: "K-nearest-neighbour search over latitude/longitude records (Rodinia nn)",
+		Dwarf:       "Dense Linear Algebra",
+		Domain:      "Data Mining",
+		Rank:        6,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // euclidKernel computes the distance from the query to every record.
@@ -113,28 +123,7 @@ func nearest(distances []float32, k int) []int {
 	return idx[:k]
 }
 
-// Benchmark implements core.Benchmark for nn.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "nn" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Dense Linear Algebra" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Data Mining" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "K-nearest-neighbour search over latitude/longitude records (Rodinia nn)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "256K", Params: map[string]int{"n": 256 << 10}},
@@ -148,8 +137,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 256<<10)
 	locations := bench.RandomF32(ctx.Seed, 2*n, 0, 90)
 	alg := &algorithm{n: n, locations: locations, lat: 30, lng: 59}

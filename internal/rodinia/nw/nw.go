@@ -44,7 +44,17 @@ func init() {
 		Fn:                  nwKernel,
 	})
 	glsl.RegisterSource(kernelName, glslNW)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "nw",
+		Family:      core.FamilyRodinia,
+		Application: "Needleman-Wunsch DNA sequence alignment scoring (Rodinia nw)",
+		Dwarf:       "Dynamic Programming",
+		Domain:      "Bioinformatics",
+		Rank:        7,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // nwKernel processes one anti-diagonal of 16x16 blocks of the score matrix.
@@ -197,29 +207,9 @@ func reference(n int, seq1, seq2 []int32) []int32 {
 	return f
 }
 
-// Benchmark implements core.Benchmark for nw.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "nw" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Dynamic Programming" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Bioinformatics" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Needleman-Wunsch DNA sequence alignment scoring (Rodinia nw)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. Sequence lengths are scaled down from
+// workloads: Sequence lengths are scaled down from
 // the paper's 4K/8K/16K (see EXPERIMENTS.md).
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "512", Params: map[string]int{"n": 512}},
@@ -233,8 +223,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	n := ctx.Workload.Param("n", 1<<10)
 	if n%blockSize != 0 {
 		return nil, fmt.Errorf("nw: sequence length %d is not a multiple of the block size %d", n, blockSize)

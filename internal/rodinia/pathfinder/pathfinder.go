@@ -31,7 +31,17 @@ func init() {
 		Fn:                pathfinderKernel,
 	})
 	glsl.RegisterSource(kernelName, glslPathfinder)
-	core.Register(&Benchmark{})
+	core.Register(core.Descriptor{
+		Name:        "pathfinder",
+		Family:      core.FamilyRodinia,
+		Application: "Dynamic-programming search for the cheapest path through a 2-D grid (Rodinia pathfinder)",
+		Dwarf:       "Dynamic Programming",
+		Domain:      "Grid Traversal",
+		Rank:        8,
+		APIs:        hw.AllAPIs(),
+		Workloads:   workloads,
+		Run:         run,
+	})
 }
 
 // pathfinderKernel computes dst[j] = wall[row][j] + min(src[j-1], src[j], src[j+1]).
@@ -129,30 +139,9 @@ func reference(rows, cols int, wall []int32) []int32 {
 	return src
 }
 
-// Benchmark implements core.Benchmark for pathfinder.
-type Benchmark struct{}
-
-// Name implements core.Benchmark.
-func (*Benchmark) Name() string { return "pathfinder" }
-
-// Dwarf implements core.Benchmark.
-func (*Benchmark) Dwarf() string { return "Dynamic Programming" }
-
-// Domain implements core.Benchmark.
-func (*Benchmark) Domain() string { return "Grid Traversal" }
-
-// Description implements core.Benchmark.
-func (*Benchmark) Description() string {
-	return "Dynamic-programming search for the cheapest path through a 2-D grid (Rodinia pathfinder)"
-}
-
-// APIs implements core.Benchmark.
-func (*Benchmark) APIs() []hw.API { return hw.AllAPIs() }
-
-// Workloads implements core.Benchmark. The label is the number of columns as
-// in Figure 2; the grid has 100 rows (Rodinia's default), i.e. 99 dependent
-// kernel launches.
-func (*Benchmark) Workloads(class hw.Class) []core.Workload {
+// workloads: the label is the number of columns as in Figure 2; the grid has
+// 100 rows (Rodinia's default), i.e. 99 dependent kernel launches.
+func workloads(class hw.Class) []core.Workload {
 	if class == hw.ClassMobile {
 		return []core.Workload{
 			{Label: "512", Params: map[string]int{"cols": 512, "rows": 100}},
@@ -166,8 +155,7 @@ func (*Benchmark) Workloads(class hw.Class) []core.Workload {
 	}
 }
 
-// Run implements core.Benchmark.
-func (bm *Benchmark) Run(ctx *core.RunContext) (*core.Result, error) {
+func run(ctx *core.RunContext) (*core.Result, error) {
 	cols := ctx.Workload.Param("cols", 10_000)
 	rows := ctx.Workload.Param("rows", 100)
 	wall := bench.RandomI32(ctx.Seed, rows*cols, 0, 10)

@@ -1,6 +1,8 @@
 // Package suite links every VComputeBench workload into the binary: importing
-// it registers the nine Rodinia ports of Table I plus the two microbenchmarks
-// with the core registry.
+// it registers the nine Rodinia ports of Table I, the two microbenchmarks and
+// the extension workloads with the core registry. The name lists exposed here
+// are registry queries, so a new workload package only has to register a
+// descriptor (and be imported below) to appear everywhere.
 package suite
 
 import (
@@ -18,27 +20,32 @@ import (
 	_ "vcomputebench/internal/rodinia/nw"
 	_ "vcomputebench/internal/rodinia/pathfinder"
 
+	// Register the extension workloads beyond the paper's suite.
+	_ "vcomputebench/internal/extensions/gemm"
+	_ "vcomputebench/internal/extensions/reduction"
+	_ "vcomputebench/internal/extensions/srad"
+
 	"vcomputebench/internal/core"
 )
 
 // RodiniaNames returns the nine Rodinia workloads in Table I order.
-func RodiniaNames() []string {
-	return []string{
-		"backprop", "bfs", "cfd", "gaussian", "hotspot", "lud", "nn", "nw", "pathfinder",
-	}
-}
+func RodiniaNames() []string { return core.FamilyNames(core.FamilyRodinia) }
 
 // FigureOrder returns the workloads in the order they appear on the x axis of
 // Figures 2 and 4.
-func FigureOrder() []string {
-	return []string{
-		"bfs", "backprop", "cfd", "gaussian", "hotspot", "lud", "nn", "nw", "pathfinder",
-	}
-}
+func FigureOrder() []string { return core.FigureOrder(core.FamilyRodinia) }
 
 // Rodinia returns the nine registered Rodinia benchmarks in Table I order.
 func Rodinia() ([]core.Benchmark, error) {
-	names := RodiniaNames()
+	return byName(RodiniaNames())
+}
+
+// Extensions returns the registered extension workloads in figure-axis order.
+func Extensions() ([]core.Benchmark, error) {
+	return byName(core.FigureOrder(core.FamilyExtension))
+}
+
+func byName(names []string) ([]core.Benchmark, error) {
 	out := make([]core.Benchmark, 0, len(names))
 	for _, n := range names {
 		b, err := core.Get(n)
