@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race bench bench-dispatch bench-suite bench-compare bench-tables results check calibrate calibrate-sweep clean
+.PHONY: all build vet test race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check calibrate calibrate-sweep clean
 
 all: build vet test
 
@@ -20,6 +20,13 @@ test:
 # timeout is not enough headroom.
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# Fault-injection regression suite under the race detector: panic recovery in
+# the worker pool, per-seed deterministic fault schedules (byte-identical
+# documents at any -parallel), retry absorption of transients, and the
+# faulted-executions-never-cached invariant. Mirrors the CI chaos job.
+chaos:
+	$(GO) test -race -run Chaos -timeout 30m ./...
 
 # Perf tracking: the dispatch-engine microbenchmarks (BENCH_dispatch.json)
 # plus the suite-level wall-time benchmarks of the counter-replay snapshot

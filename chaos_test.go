@@ -1,0 +1,190 @@
+package vcomputebench_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/expected"
+	"vcomputebench/internal/experiments"
+	"vcomputebench/internal/faults"
+	"vcomputebench/internal/hw"
+	"vcomputebench/internal/platforms"
+	"vcomputebench/internal/report"
+	_ "vcomputebench/internal/rodinia/suite"
+)
+
+// encodeDoc renders one document under the versioned JSON schema; the chaos
+// determinism tests compare these encodings byte for byte.
+func encodeDoc(t *testing.T, doc *report.Document) []byte {
+	t.Helper()
+	data, err := report.EncodeJSON([]*report.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosGridDeterministicUnderFaults runs a full paper figure under an
+// elevated mix of every fault class in keep-going mode and pins the two core
+// degradation contracts: the run survives (documents are produced, failed
+// cells are structured entries, the process never dies) and the output is
+// byte-identical at any suite parallelism — the fault schedule is a pure
+// function of (seed, site), not of scheduling.
+//
+// No CellTimeout on purpose: deadline expiry depends on wall-clock scheduling
+// and would break byte-identity; the hang class still exercises its
+// deadline-less immediate-surface path deterministically.
+func TestChaosGridDeterministicUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure repeatedly; skipped with -short")
+	}
+	p, err := platforms.ByID(platforms.IDNexus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apis := []hw.API{hw.APIOpenCL, hw.APIVulkan}
+	run := func(parallelism int) *report.Document {
+		t.Helper()
+		inj := faults.New(1234,
+			faults.Rule{Class: faults.DriverFault, Rate: 0.15},
+			faults.Rule{Class: faults.Hang, Rate: 0.10},
+			faults.Rule{Class: faults.DeviceLost, Rate: 0.15},
+			faults.Rule{Class: faults.OOM, Rate: 0.10},
+		)
+		doc, err := experiments.SpeedupDocument("fig4a", p, apis, experiments.Options{
+			Repetitions: 1, Seed: 42, Parallelism: parallelism,
+			Faults: inj, Retries: 1, KeepGoing: true,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return doc
+	}
+	serial := run(1)
+	if len(serial.Failed) == 0 {
+		t.Fatal("elevated fault rates produced no failed cells; the chaos run exercised nothing")
+	}
+	if !serial.Degraded() {
+		t.Fatal("document with failed cells does not report Degraded()")
+	}
+	for _, f := range serial.Failed {
+		if f.Benchmark == "" || f.API == "" || f.Class == "" || f.Attempts < 1 || f.Reason == "" {
+			t.Fatalf("failure entry incomplete: %+v", f)
+		}
+	}
+	want := encodeDoc(t, serial)
+	for _, par := range []int{8, 8} { // twice: also guards run-to-run determinism
+		if got := encodeDoc(t, run(par)); !bytes.Equal(want, got) {
+			t.Fatalf("parallelism %d: degraded document differs from serial run:\n%s\nvs\n%s", par, got, want)
+		}
+	}
+
+	// A degraded paper figure must never pass the fidelity check.
+	failedDegraded := 0
+	for _, c := range expected.CompareDocument("fig4a", serial) {
+		if c.Kind == "degraded" && !c.Pass {
+			failedDegraded++
+		}
+	}
+	if failedDegraded != len(serial.Failed) {
+		t.Fatalf("CompareDocument produced %d failing degraded checks for %d failed cells", failedDegraded, len(serial.Failed))
+	}
+}
+
+// TestChaosRetriesAbsorbTransients: when every injected fault is transient
+// and the retry budget outlasts the longest fault streak, the degraded
+// machinery must leave no trace — the document is byte-identical to a
+// fault-free run.
+func TestChaosRetriesAbsorbTransients(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full figure repeatedly; skipped with -short")
+	}
+	p, err := platforms.ByID(platforms.IDNexus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apis := []hw.API{hw.APIOpenCL, hw.APIVulkan}
+	clean, err := experiments.SpeedupDocument("fig4a", p, apis,
+		experiments.Options{Repetitions: 1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(77, faults.Rule{Class: faults.DriverFault, Rate: 0.25})
+	faulted, err := experiments.SpeedupDocument("fig4a", p, apis, experiments.Options{
+		Repetitions: 1, Seed: 42,
+		Faults: inj, Retries: 6, KeepGoing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Stats(); st.Planned == 0 || st.Fired == 0 {
+		t.Fatalf("injector stats = %+v; the faulted run injected nothing, so the test proves nothing", st)
+	}
+	if len(faulted.Failed) != 0 {
+		t.Fatalf("retries should have absorbed every transient fault, but %d cells failed: %+v",
+			len(faulted.Failed), faulted.Failed)
+	}
+	if want, got := encodeDoc(t, clean), encodeDoc(t, faulted); !bytes.Equal(want, got) {
+		t.Fatalf("retry-recovered document differs from fault-free run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestChaosFaultedExecutionNeverCached: a retry-recovered cell must not seed
+// the snapshot cache — replays only ever come from clean first attempts — and
+// the recovered result must equal the clean one exactly.
+func TestChaosFaultedExecutionNeverCached(t *testing.T) {
+	p, err := platforms.ByID(platforms.IDGTX1050Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Get("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Workloads(p.Profile.Class)[0]
+
+	cleanCache := core.NewSnapshotCache(0)
+	cleanRunner := &core.Runner{Repetitions: 1, Seed: 42, Cache: cleanCache}
+	clean, err := cleanRunner.Run(p, b, hw.APIVulkan, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cleanCache.Stats().Entries; got != 1 {
+		t.Fatalf("clean run cached %d snapshots, want 1", got)
+	}
+
+	// Fault the first attempt only; the retry recovers the cell.
+	planner := plannerAttempt0{class: faults.DriverFault}
+	faultedCache := core.NewSnapshotCache(0)
+	faultedRunner := &core.Runner{Repetitions: 1, Seed: 42, Cache: faultedCache, Retries: 1, Faults: planner}
+	recovered, err := faultedRunner.Run(p, b, hw.APIVulkan, w)
+	if err != nil {
+		t.Fatalf("fault on attempt 0 with Retries=1 should recover: %v", err)
+	}
+	if got := faultedCache.Stats().Entries; got != 0 {
+		t.Fatalf("retry-recovered run cached %d snapshots, want 0 (faulted executions are never trusted)", got)
+	}
+	requireSameResult(t, "clean vs retry-recovered", clean, recovered)
+
+	// The next run of the same cell re-executes (no tainted snapshot to hit)
+	// and, being clean at attempt 0 this time... the planner still faults
+	// attempt 0, so it recovers again and still caches nothing.
+	if _, err := faultedRunner.Run(p, b, hw.APIVulkan, w); err != nil {
+		t.Fatal(err)
+	}
+	if st := faultedCache.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("cache stats after second recovered run = %+v, want no hits and no entries", st)
+	}
+}
+
+// plannerAttempt0 injects one fault class at dispatch 0 of attempt 0 of every
+// cell, and nothing on retries.
+type plannerAttempt0 struct{ class faults.Class }
+
+func (p plannerAttempt0) Plan(site faults.Site) *faults.Plan {
+	if site.Attempt != 0 {
+		return nil
+	}
+	return &faults.Plan{Class: p.class, Dispatch: 0, Site: site}
+}

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,7 +80,9 @@ func main() {
 	f := &File{Note: note, Baseline: map[string]Entry{}, Current: map[string]Entry{}}
 	if raw, err := os.ReadFile(*update); err == nil {
 		if err := json.Unmarshal(raw, f); err != nil {
-			fatal(fmt.Errorf("parsing existing %s: %w", *update, err))
+			// A corrupt baseline must not be silently re-baselined from scratch:
+			// name the file and the way back to a valid one.
+			fatal(fmt.Errorf("existing %s is corrupt (%v); fix it or delete it and regenerate with `%s`", *update, err, regenHint(*update)))
 		}
 		f.Note = note
 		if f.Baseline == nil {
@@ -115,11 +118,14 @@ func main() {
 func compareFile(path string, tolNs, tolAllocs float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		if os.IsNotExist(err) {
+			return fmt.Errorf("baseline %s does not exist; generate it with `%s`", path, regenHint(path))
+		}
+		return fmt.Errorf("reading baseline %s: %w", path, err)
 	}
 	var f File
 	if err := json.Unmarshal(raw, &f); err != nil {
-		return fmt.Errorf("parsing %s: %w", path, err)
+		return fmt.Errorf("baseline %s is corrupt (%v); delete it and regenerate with `%s`", path, err, regenHint(path))
 	}
 	regressions := 0
 	compared := 0
@@ -197,6 +203,19 @@ func parseBench(src *os.File) (map[string]Entry, error) {
 		}
 	}
 	return entries, sc.Err()
+}
+
+// regenHint names the make target that rebuilds the given tracked baseline,
+// so error messages tell the user the exact way back to a valid file.
+func regenHint(path string) string {
+	switch filepath.Base(path) {
+	case "BENCH_dispatch.json":
+		return "make bench-dispatch"
+	case "BENCH_suite.json":
+		return "make bench-suite"
+	default:
+		return "make bench"
+	}
 }
 
 func sortedNames(m map[string]Entry) []string {

@@ -15,21 +15,32 @@
 //	vcbench -calibrate gtx1050ti          per-benchmark Fig. 2 calibration errors for a platform
 //	vcbench -calibrate rx560 -sweep       additionally sweep the driver knobs and propose values
 //	vcbench -run all -cache-stats         report how many cells executed vs replayed
+//	vcbench -run all -faults 'driver-fault:0.05' -retries 2 -keep-going
+//	                                      chaos-test the harness: inject deterministic faults,
+//	                                      retry transients, degrade the rest into the reports
+//
+// Exit codes: 0 clean, 1 hard failure (including SIGINT/SIGTERM), 2 fidelity
+// drift (-check found failing checks), 3 degraded-but-complete (-keep-going
+// absorbed cell failures; every document still produced).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"vcomputebench/internal/calibrate"
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
+	"vcomputebench/internal/faults"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/report"
@@ -57,8 +68,19 @@ func main() {
 		outDir      = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
 		useCache    = flag.Bool("cache", true, "share a counter-replay snapshot cache across experiments: each distinct (platform, benchmark, workload, API) cell executes once and is replayed elsewhere (output is byte-identical either way)")
 		cacheStats  = flag.Bool("cache-stats", false, "print snapshot-cache hit/miss statistics to stderr when done")
+		faultSpec   = flag.String("faults", "", "deterministic fault-injection spec: 'class:rate[@k=v,...][;...]' with classes driver-fault, hang, device-lost, oom and filters platform=, benchmark=, api= (lowercase, e.g. 'driver-fault:0.05;oom:0.01@api=vulkan')")
+		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault schedule (0 = use -seed); the same seed and spec give a bit-identical schedule at any -parallel")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (expiry is a transient failure, eligible for -retries)")
+		retries     = flag.Int("retries", 0, "retry budget per cell for transient failures (deterministic exponential backoff)")
+		retryBack   = flag.Duration("retry-backoff", core.DefaultRetryBackoff, "base delay of the retry backoff (doubles per attempt)")
+		keepGoing   = flag.Bool("keep-going", false, "degrade failed cells into structured report entries instead of aborting; a degraded-but-complete run exits 3")
 	)
 	flag.Parse()
+
+	// Cancel the suite on SIGINT/SIGTERM: in-flight cells finish, unlaunched
+	// cells are skipped, and -run flushes whatever documents completed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := experiments.Options{
 		Repetitions:         *reps,
@@ -66,6 +88,22 @@ func main() {
 		Parallelism:         *parallel,
 		DispatchParallelism: *dispatchN,
 		Seed:                *seed,
+		Context:             ctx,
+		CellTimeout:         *cellTimeout,
+		Retries:             *retries,
+		RetryBackoff:        *retryBack,
+		KeepGoing:           *keepGoing,
+	}
+	if *faultSpec != "" {
+		fseed := *faultSeed
+		if fseed == 0 {
+			fseed = *seed
+		}
+		inj, err := faults.Parse(*faultSpec, fseed)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Faults = inj
 	}
 	if *useCache {
 		opts.Cache = core.NewSnapshotCache(0)
@@ -109,8 +147,38 @@ func main() {
 		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(exitHard)
 	}
+}
+
+// Exit codes. 0 remains a clean run; CI keys off the distinctions below.
+const (
+	// exitHard: the run did not complete (errors, panics that escaped a cell,
+	// SIGINT/SIGTERM).
+	exitHard = 1
+	// exitDrift: the run completed but -check found results drifting from the
+	// paper's published values or the baseline.
+	exitDrift = 2
+	// exitDegraded: every experiment produced a document, but -keep-going
+	// absorbed failed cells, so aggregates cover survivors only.
+	exitDegraded = 3
+)
+
+// exitError carries a specific process exit code up through the error path.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+func exitCode(err error) int {
+	var ee *exitError
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return exitHard
 }
 
 // beforeExit, when set, runs before any fatal exit (and, via defer, on
@@ -122,7 +190,7 @@ func fatal(err error) {
 	if beforeExit != nil {
 		beforeExit()
 	}
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }
 
 // printCacheStats reports the snapshot cache's traffic: misses are cells that
@@ -188,10 +256,35 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 		return err
 	}
 	var jsonDocs []*report.Document // collected for a combined stdout document
-	for _, e := range selected {
+	flushJSON := func() error {
+		if format != "json" || outDir != "" {
+			return nil
+		}
+		// One valid JSON value on stdout, however many experiments ran.
+		data, err := report.EncodeJSON(jsonDocs)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		return nil
+	}
+	degraded := 0
+	for i, e := range selected {
 		doc, err := e.Run(opts)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// Interrupted: everything that completed is already on disk or
+				// in jsonDocs; flush it so the partial run is still usable.
+				if ferr := flushJSON(); ferr != nil {
+					return ferr
+				}
+				return &exitError{exitHard, fmt.Errorf(
+					"interrupted after %d of %d experiments; partial results flushed", i, len(selected))}
+			}
 			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if doc.Degraded() {
+			degraded++
 		}
 		var body string
 		switch format {
@@ -229,13 +322,12 @@ func runExperiments(id string, opts experiments.Options, format, outDir string) 
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
-	if format == "json" && outDir == "" {
-		// One valid JSON value on stdout, however many experiments ran.
-		data, err := report.EncodeJSON(jsonDocs)
-		if err != nil {
-			return err
-		}
-		os.Stdout.Write(data)
+	if err := flushJSON(); err != nil {
+		return err
+	}
+	if degraded > 0 {
+		return &exitError{exitDegraded, fmt.Errorf(
+			"%d of %d experiments degraded (failed cells recorded in their documents)", degraded, len(selected))}
 	}
 	return nil
 }
@@ -285,7 +377,8 @@ func (b *baselineSource) doc(id string) (*report.Document, error) {
 
 // runCheck runs the selected experiments and compares each against the
 // paper's published values (internal/expected) and, when -baseline is given,
-// against a previous JSON run. Any failed check makes the command exit 1.
+// against a previous JSON run. Any failed check — including a degraded cell
+// under -keep-going — makes the command exit with the fidelity-drift code.
 func runCheck(id string, opts experiments.Options, baselinePath string, baselineTol float64) error {
 	// Fail fast if the pinned expectations reference benchmarks or experiments
 	// that no longer exist, before spending any time running experiments.
@@ -337,7 +430,7 @@ func runCheck(id string, opts experiments.Options, baselinePath string, baseline
 	}
 	fmt.Printf("check: %d passed, %d failed\n", passed, failed)
 	if failed > 0 {
-		return fmt.Errorf("%d of %d checks failed", failed, passed+failed)
+		return &exitError{exitDrift, fmt.Errorf("%d of %d checks failed", failed, passed+failed)}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -46,6 +47,11 @@ func (w Workload) WithParam(name string, value int) Workload {
 
 // RunContext is everything a benchmark's host code needs for one run.
 type RunContext struct {
+	// Ctx carries the attempt's cancellation and per-cell deadline. The
+	// runner enforces it at every dispatch through the device fault hook, so
+	// benchmarks need not consult it; long host-side loops may. It can be nil
+	// when a RunContext is constructed by hand in tests.
+	Ctx context.Context
 	// Host is the simulated CPU whose clock the benchmark measures with.
 	Host *sim.Host
 	// Device is the simulated GPU.

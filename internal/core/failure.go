@@ -1,0 +1,108 @@
+// The failure taxonomy of the hardened runner. The paper's own campaign hit
+// driver failures and datasets that did not fit (Table IV); the historical
+// runner knew only "exclusion or abort". This file classifies every cell
+// failure as Transient (retry may succeed), Permanent (it will not) or
+// Excluded (an anticipated Table IV gap), wraps final failures with their
+// cell identity and attempt count, and turns recovered panics into ordinary
+// errors so a misbehaving benchmark degrades the suite instead of killing
+// the process.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"vcomputebench/internal/faults"
+	"vcomputebench/internal/hw"
+)
+
+// FailureClass buckets cell failures for retry policy and reporting. The
+// values are the strings serialised into report documents, so they are part
+// of the additive results schema.
+type FailureClass string
+
+const (
+	// FailureTransient marks failures a retry of the same cell may clear:
+	// injected driver faults and hangs, and per-cell deadline expiries.
+	FailureTransient FailureClass = "transient"
+	// FailurePermanent marks failures retrying cannot fix: device loss, OOM,
+	// panics, checksum divergence, and any unclassified error.
+	FailurePermanent FailureClass = "permanent"
+	// FailureExcluded marks anticipated Table IV exclusions. They are not
+	// failures of the run and never appear in SuiteResult.Failed.
+	FailureExcluded FailureClass = "excluded"
+)
+
+// Classify assigns an error to the failure taxonomy by unwrapping it:
+// exclusions stay exclusions, injected faults follow their class, deadline
+// expiry is transient (the next attempt gets a fresh budget), and everything
+// else — panics included — is permanent.
+func Classify(err error) FailureClass {
+	var excl *ExclusionError
+	if errors.As(err, &excl) {
+		return FailureExcluded
+	}
+	var inj *faults.Error
+	if errors.As(err, &inj) {
+		if inj.Class.Transient() {
+			return FailureTransient
+		}
+		return FailurePermanent
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return FailureTransient
+	}
+	return FailurePermanent
+}
+
+// PanicError is a panic recovered from a benchmark cell, preserved as an
+// ordinary error. Error() deliberately omits the stack: it feeds report
+// documents, which must stay byte-identical across schedulers, and stacks
+// carry goroutine IDs. The Stack field keeps the full trace for debugging.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: benchmark panicked: %v", e.Value)
+}
+
+// CellError is the final failure of one suite cell: the identity of the cell,
+// the classified reason, and how many attempts the retry budget spent on it.
+type CellError struct {
+	Benchmark string
+	Workload  string
+	Platform  string
+	API       hw.API
+	Class     FailureClass
+	Attempts  int
+	Err       error
+}
+
+func (e *CellError) Error() string {
+	return fmt.Sprintf("core: %s/%s on %s (%s) failed (%s, %d attempt(s)): %v",
+		e.Benchmark, e.API, e.Platform, e.Workload, e.Class, e.Attempts, e.Err)
+}
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellFailure is the reporting view of a failed cell collected by a
+// keep-going suite run (see SuiteResult.Failed). Reason is the terminal
+// error's message, which is deterministic for a given fault schedule.
+type CellFailure struct {
+	Benchmark string
+	Workload  string
+	API       hw.API
+	Class     FailureClass
+	Attempts  int
+	Reason    string
+}
+
+// FaultPlanner plans deterministic fault injection per execution attempt.
+// *faults.Injector is the production implementation; tests substitute fixed
+// schedules.
+type FaultPlanner interface {
+	Plan(site faults.Site) *faults.Plan
+}

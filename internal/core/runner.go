@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"time"
 
+	"vcomputebench/internal/faults"
 	"vcomputebench/internal/hw"
 	"vcomputebench/internal/platforms"
 	"vcomputebench/internal/sim"
@@ -62,7 +65,37 @@ type Runner struct {
 	// values, as a calibration sweep produces — replay the snapshot
 	// analytically instead of re-executing workgroups. Results are
 	// bit-identical either way. nil preserves the plain execution path.
+	// Snapshots are only recorded from clean first attempts: a faulted or
+	// retry-recovered execution is never cached.
 	Cache *SnapshotCache
+
+	// Context, when non-nil, bounds the whole run: cancelling it stops the
+	// suite scheduler from launching new cells and fails the next execution
+	// attempt of in-flight cells at their next dispatch. nil means
+	// context.Background() (never cancelled).
+	Context context.Context
+	// Faults, when non-nil, plans deterministic fault injection per execution
+	// attempt (see internal/faults). Planning is a pure function of the cell
+	// site, so the fault schedule is identical at any Parallelism. Snapshot
+	// replays are analytic and never consult it: injection models execution.
+	Faults FaultPlanner
+	// CellTimeout bounds each execution attempt of one cell; the deadline is
+	// enforced at dispatch boundaries, and an injected hang blocks until it
+	// expires. 0 disables the deadline (hangs then surface immediately
+	// instead of blocking a deadline-less run forever).
+	CellTimeout time.Duration
+	// Retries is the per-cell retry budget for failures classified transient
+	// (injected driver faults and hangs, deadline expiries). Permanent
+	// failures and exclusions never retry. Default 0: fail on first error.
+	Retries int
+	// RetryBackoff is the base of the deterministic exponential backoff slept
+	// before retry n (RetryBackoff << n). 0 retries immediately; there is no
+	// jitter, so a retried schedule stays reproducible.
+	RetryBackoff time.Duration
+	// KeepGoing degrades instead of aborting: hard cell failures become
+	// structured SuiteResult.Failed entries and the suite keeps running.
+	// Cancellation still aborts. Default false preserves fail-fast.
+	KeepGoing bool
 }
 
 // NewRunner returns a runner with the default repetition count.
@@ -104,27 +137,157 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 			Reason: fmt.Sprintf("benchmark has no %s implementation", api),
 		}
 	}
-	if r.Cache == nil {
-		res, _, err := r.execute(p, b, api, w, dispatchParallel, false)
-		return res, err
+	ctx := r.baseContext()
+	record := r.Cache != nil
+	var key cacheKey
+	if record {
+		key = r.snapshotKey(p, b, api, w)
+		if snap, ok := r.Cache.get(key); ok {
+			// Analytic replay re-values an already-executed trace; fault
+			// injection models execution and never applies here.
+			return snap.Replay(p)
+		}
 	}
-	key := r.snapshotKey(p, b, api, w)
-	if snap, ok := r.Cache.get(key); ok {
-		return snap.Replay(p)
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label, err)
+		}
+		var plan *faults.Plan
+		if r.Faults != nil {
+			plan = r.Faults.Plan(faults.Site{
+				Platform: p.ID, Benchmark: b.Name(), Workload: w.Label,
+				API: string(api), Attempt: attempt,
+			})
+		}
+		res, snap, err := r.executeAttempt(ctx, p, b, api, w, dispatchParallel, record, plan)
+		if err == nil && plan != nil && plan.Fired() {
+			// A fired fault that did not surface as an error means some layer
+			// swallowed it; trusting the result would defeat the fault model.
+			err = fmt.Errorf("core: %s/%s on %s (%s): injected fault did not surface: %w",
+				b.Name(), api, p.ID, w.Label, plan.Err())
+		}
+		if err == nil {
+			// Cache only clean first attempts: a recovered cell re-executes on
+			// the next run instead of risking a snapshot tainted by the fault.
+			if record && attempt == 0 && (plan == nil || !plan.Fired()) {
+				r.Cache.put(key, snap)
+			}
+			return res, nil
+		}
+		class := Classify(err)
+		if class == FailureExcluded {
+			return nil, err
+		}
+		if class == FailureTransient && attempt < r.Retries && ctx.Err() == nil {
+			r.sleepBackoff(ctx, attempt)
+			continue
+		}
+		return nil, &CellError{
+			Benchmark: b.Name(), Workload: w.Label, Platform: p.ID, API: api,
+			Class: class, Attempts: attempt + 1, Err: err,
+		}
 	}
-	res, snap, err := r.execute(p, b, api, w, dispatchParallel, true)
-	if err != nil {
-		return nil, err
+}
+
+// baseContext resolves the runner's context (Background when unset).
+func (r *Runner) baseContext() context.Context {
+	if r.Context != nil {
+		return r.Context
 	}
-	r.Cache.put(key, snap)
-	return res, nil
+	return context.Background()
+}
+
+// DefaultRetryBackoff is the backoff base cmd/vcbench applies when -retries
+// is requested without an explicit -retry-backoff.
+const DefaultRetryBackoff = 100 * time.Millisecond
+
+// RetryDelay is the deterministic exponential backoff slept before retry
+// attempt+1: base << attempt, with the shift capped so it cannot overflow.
+// No jitter by design — a retried fault schedule must stay reproducible.
+func RetryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt > 16 {
+		attempt = 16
+	}
+	return base << uint(attempt)
+}
+
+// sleepBackoff waits the retry delay, returning early on cancellation.
+func (r *Runner) sleepBackoff(ctx context.Context, attempt int) {
+	d := RetryDelay(r.RetryBackoff, attempt)
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// executeAttempt runs one attempt of a cell under the per-cell deadline,
+// converting a panicking benchmark into an error instead of a dead process.
+func (r *Runner) executeAttempt(ctx context.Context, p *platforms.Platform, b Benchmark, api hw.API,
+	w Workload, dispatchParallel int, record bool, plan *faults.Plan) (res *Result, snap *Snapshot, err error) {
+	if r.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, snap = nil, nil
+			err = fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label,
+				&PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	return r.execute(ctx, p, b, api, w, dispatchParallel, record, plan)
+}
+
+// faultHook builds the pre-dispatch hook installed on every device of one
+// attempt: it enforces the attempt's deadline and fires the planned fault at
+// its dispatch ordinal. nil when neither applies, keeping the clean fast
+// path untouched.
+func faultHook(ctx context.Context, plan *faults.Plan) func() error {
+	if ctx.Done() == nil && plan == nil {
+		return nil
+	}
+	dispatch := 0
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: cell attempt aborted before dispatch %d: %w", dispatch, err)
+		}
+		d := dispatch
+		dispatch++
+		if plan == nil || !plan.FireAt(d) {
+			return nil
+		}
+		if plan.Class == faults.Hang {
+			if _, hasDeadline := ctx.Deadline(); hasDeadline {
+				// The hang holds the dispatch until the cell deadline expires;
+				// the deadline error classifies transient, like the hang.
+				<-ctx.Done()
+				return fmt.Errorf("core: %v: %w", plan.Err(), ctx.Err())
+			}
+			// Without a deadline a real hang would block forever; surface it
+			// immediately so deadline-less runs stay deterministic and alive.
+			return fmt.Errorf("core: %w (no cell timeout; hang surfaces immediately)", plan.Err())
+		}
+		return plan.Err()
+	}
 }
 
 // execute runs the benchmark's repetitions on fresh devices and averages the
 // measurements. With record set, the first measured repetition is captured as
 // a timing trace and returned as a replayable Snapshot alongside the result.
-func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
-	dispatchParallel int, record bool) (*Result, *Snapshot, error) {
+// The fault hook — shared by all repetitions of the attempt, so the planned
+// fault's dispatch ordinal counts across them — enforces ctx and plan at
+// every dispatch.
+func (r *Runner) execute(ctx context.Context, p *platforms.Platform, b Benchmark, api hw.API, w Workload,
+	dispatchParallel int, record bool, plan *faults.Plan) (*Result, *Snapshot, error) {
 	reps := r.Repetitions
 	if reps <= 0 {
 		reps = 1
@@ -133,6 +296,7 @@ func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workl
 	if warmup < 0 {
 		warmup = 0
 	}
+	hook := faultHook(ctx, plan)
 
 	var kernelTimes, totalTimes []time.Duration
 	var last *Result
@@ -144,6 +308,7 @@ func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workl
 			return nil, nil, fmt.Errorf("core: creating device for %s: %w", p.ID, err)
 		}
 		dev.SetDispatchParallelism(dispatchParallel)
+		dev.SetFaultHook(hook)
 		host := sim.NewHost()
 		var repRec *hw.Recorder
 		if record && rep == warmup {
@@ -155,7 +320,8 @@ func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workl
 			dev.SetRecorder(repRec)
 			host.SetTraceSink(repRec)
 		}
-		ctx := &RunContext{
+		rctx := &RunContext{
+			Ctx:      ctx,
 			Host:     host,
 			Device:   dev,
 			Platform: p,
@@ -165,7 +331,7 @@ func (r *Runner) execute(p *platforms.Platform, b Benchmark, api hw.API, w Workl
 			Validate: r.Validate && rep == 0,
 			rec:      repRec,
 		}
-		res, err := b.Run(ctx)
+		res, err := b.Run(rctx)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: %s/%s on %s (%s): %w", b.Name(), api, p.ID, w.Label, err)
 		}
@@ -224,6 +390,10 @@ type SuiteResult struct {
 	Results map[string]map[string]map[hw.API]*Result
 	// Skipped lists excluded combinations with their reasons.
 	Skipped []ExclusionError
+	// Failed lists the cells a keep-going run lost to hard failures, in grid
+	// order (deterministic at any Parallelism). Empty on fail-fast runs,
+	// which return the first hard error instead.
+	Failed []CellFailure
 }
 
 // Add inserts a result into the nested map.
@@ -301,12 +471,15 @@ func (s *SuiteResult) GeoMeanSpeedup(api, baseline hw.API) (float64, error) {
 // device class and every requested API, collecting results and recording
 // exclusions instead of failing on them. The grid is executed by a worker
 // pool sized by r.Parallelism (see runSuiteTasks); results are merged in grid
-// order, so the output is identical to a serial run.
+// order, so the output is identical to a serial run. With KeepGoing set, hard
+// cell failures degrade into Failed entries instead of aborting; cancellation
+// of r.Context always aborts with its error, so an interrupted run can never
+// pass for a merely degraded one.
 func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []hw.API) (*SuiteResult, error) {
 	tasks := enumerateSuite(p, benchmarks, apis)
 	outcomes := r.runSuiteTasks(p, tasks)
 	out := &SuiteResult{Platform: p.ID}
-	for _, o := range outcomes {
+	for i, o := range outcomes {
 		if o.err != nil {
 			var excl *ExclusionError
 			if errors.As(o.err, &excl) {
@@ -318,13 +491,38 @@ func (r *Runner) RunSuite(p *platforms.Platform, benchmarks []Benchmark, apis []
 				}
 				continue
 			}
+			if r.KeepGoing && !errors.Is(o.err, context.Canceled) {
+				out.Failed = append(out.Failed, cellFailure(tasks[i], o.err))
+				continue
+			}
 			return nil, o.err
 		}
 		if o.res != nil {
 			out.Add(o.res)
 		}
 	}
+	if err := r.baseContext().Err(); err != nil {
+		// Cells never launched leave no outcome; without this check an
+		// interrupt between cells would return a silently truncated suite.
+		return nil, fmt.Errorf("core: suite on %s interrupted: %w", p.ID, err)
+	}
 	return out, nil
+}
+
+// cellFailure builds the reporting entry for one failed cell, preferring the
+// structured CellError the runner wraps failures in.
+func cellFailure(t suiteTask, err error) CellFailure {
+	f := CellFailure{
+		Benchmark: t.bench.Name(), Workload: t.workload.Label, API: t.api,
+		Class: Classify(err), Attempts: 1, Reason: err.Error(),
+	}
+	var ce *CellError
+	if errors.As(err, &ce) {
+		f.Class = ce.Class
+		f.Attempts = ce.Attempts
+		f.Reason = ce.Err.Error()
+	}
+	return f
 }
 
 func containsExclusion(skipped []ExclusionError, e ExclusionError) bool {

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -79,10 +81,14 @@ func (r *Runner) dispatchBudget(workers int) int {
 // order. Each repetition creates a fresh simulated device and shares no
 // mutable state with its siblings, so tasks fan out across a worker pool;
 // with one worker the tasks run inline. Both paths stop launching new cells
-// after the first hard error (in-flight parallel cells still finish),
-// matching the historical serial behaviour of failing fast.
+// once a hard error demands an abort (in-flight parallel cells still finish)
+// — on every hard error by default, matching the historical fail-fast serial
+// behaviour, or only on cancellation when the runner keeps going. A
+// panicking cell is recovered into a failed outcome; the pool, and the
+// process, survive it.
 func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suiteOutcome {
 	outcomes := make([]suiteOutcome, len(tasks))
+	ctx := r.baseContext()
 	workers := r.workers()
 	if workers > len(tasks) {
 		workers = len(tasks)
@@ -90,10 +96,12 @@ func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suite
 	dispatchParallel := r.dispatchBudget(workers)
 	if workers <= 1 {
 		for _, t := range tasks {
-			res, err := r.run(p, t.bench, t.api, t.workload, dispatchParallel)
+			if ctx.Err() != nil {
+				break // unexecuted cells stay zero; RunSuite surfaces the cancellation
+			}
+			res, err := r.safeRun(p, t, dispatchParallel)
 			outcomes[t.idx] = suiteOutcome{res: res, err: err}
-			var excl *ExclusionError
-			if err != nil && !errors.As(err, &excl) {
+			if r.abortOn(err) {
 				break
 			}
 		}
@@ -102,19 +110,18 @@ func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suite
 
 	ch := make(chan suiteTask)
 	var wg sync.WaitGroup
-	var aborted atomic.Bool // set on the first hard error so workers stop picking up new cells
+	var aborted atomic.Bool // set on the first aborting error so workers stop picking up new cells
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range ch {
-				if aborted.Load() {
+				if aborted.Load() || ctx.Err() != nil {
 					continue // drain; unexecuted cells stay zero and the merge skips them
 				}
-				res, err := r.run(p, t.bench, t.api, t.workload, dispatchParallel)
+				res, err := r.safeRun(p, t, dispatchParallel)
 				outcomes[t.idx] = suiteOutcome{res: res, err: err}
-				var excl *ExclusionError
-				if err != nil && !errors.As(err, &excl) {
+				if r.abortOn(err) {
 					aborted.Store(true)
 				}
 			}
@@ -126,4 +133,39 @@ func (r *Runner) runSuiteTasks(p *platforms.Platform, tasks []suiteTask) []suite
 	close(ch)
 	wg.Wait()
 	return outcomes
+}
+
+// safeRun executes one cell, converting a panic that escapes the runner's
+// own machinery (result summarising, snapshot binding — benchmark panics are
+// already recovered per attempt) into a failed outcome so no cell can kill
+// the scheduler.
+func (r *Runner) safeRun(p *platforms.Platform, t suiteTask, dispatchParallel int) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &CellError{
+				Benchmark: t.bench.Name(), Workload: t.workload.Label, Platform: p.ID, API: t.api,
+				Class: FailurePermanent, Attempts: 1,
+				Err: &PanicError{Value: v, Stack: debug.Stack()},
+			}
+		}
+	}()
+	return r.run(p, t.bench, t.api, t.workload, dispatchParallel)
+}
+
+// abortOn decides whether a cell error stops the scheduler from launching
+// further cells: exclusions never do, cancellation always does, and other
+// hard errors do unless the runner keeps going.
+func (r *Runner) abortOn(err error) bool {
+	if err == nil {
+		return false
+	}
+	var excl *ExclusionError
+	if errors.As(err, &excl) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return true
+	}
+	return !r.KeepGoing
 }

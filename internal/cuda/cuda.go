@@ -265,7 +265,9 @@ func (s *Stream) Launch(k *Kernel, grid kernels.Dim3, block kernels.Dim3, args A
 	cfg := kernels.DispatchConfig{Groups: grid, Buffers: buffers, Push: args.Values}
 	_, err := s.hw.ExecuteKernel(s.ctx.host.Now(), hw.APICUDA, k.prog, cfg, hw.KnobCost(hw.KnobPipelineBind))
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrLaunchFailure, err)
+		// %w on the cause as well: fault classification must survive the
+		// API-level error translation.
+		return fmt.Errorf("%w: %w", ErrLaunchFailure, err)
 	}
 	return nil
 }

@@ -351,9 +351,26 @@ func withinTol(want, got, relTol float64) bool {
 
 // CompareDocument checks a measured document against every expectation
 // recorded for the experiment: published metrics within tolerance, Table IV
-// exclusions present, and no unexpected exclusions.
+// exclusions present, and no unexpected exclusions. A degraded document — one
+// carrying Failed cells from a keep-going run — can never pass: every failed
+// cell becomes a failing "degraded" check, because numbers aggregated over
+// survivors are not the paper's numbers.
 func CompareDocument(expID string, doc *report.Document) []Check {
 	var checks []Check
+	for _, f := range doc.Failed {
+		name := "degraded/" + f.Benchmark
+		if f.Workload != "" {
+			name += "/" + f.Workload
+		}
+		if f.API != "" {
+			name += "/" + f.API
+		}
+		checks = append(checks, Check{
+			Experiment: expID, Kind: "degraded", Name: name,
+			Want: math.NaN(), Got: math.NaN(),
+			Detail: fmt.Sprintf("cell failed (%s after %d attempt(s)): %s", f.Class, f.Attempts, f.Reason),
+		})
+	}
 	for _, m := range Metrics() {
 		if m.Experiment != expID {
 			continue

@@ -5,9 +5,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/hw"
@@ -42,6 +44,20 @@ type Options struct {
 	// cell once, and the calibration sweep scores every candidate profile by
 	// replaying the single execution of its platform's suite.
 	Cache *core.SnapshotCache
+	// Context, when non-nil, bounds the run: cancellation stops suite
+	// scheduling and surfaces as the experiment's error.
+	Context context.Context
+	// Faults, when non-nil, injects deterministic faults at the execute seam
+	// (see internal/faults and the core.Runner field of the same name).
+	Faults core.FaultPlanner
+	// CellTimeout, Retries and RetryBackoff configure the runner's per-cell
+	// deadline and transient-failure retry policy.
+	CellTimeout  time.Duration
+	Retries      int
+	RetryBackoff time.Duration
+	// KeepGoing degrades failed cells into structured Document.Failed entries
+	// instead of aborting the experiment.
+	KeepGoing bool
 }
 
 // defaults fills in zero fields.
@@ -65,6 +81,12 @@ func (o Options) Runner() *core.Runner {
 		DispatchParallelism: o.DispatchParallelism,
 		Seed:                o.Seed,
 		Cache:               o.Cache,
+		Context:             o.Context,
+		Faults:              o.Faults,
+		CellTimeout:         o.CellTimeout,
+		Retries:             o.Retries,
+		RetryBackoff:        o.RetryBackoff,
+		KeepGoing:           o.KeepGoing,
 	}
 }
 
@@ -214,6 +236,10 @@ func BandwidthDocument(id string, p *platforms.Platform, apis []hw.API, opts Opt
 		for i, w := range workloads {
 			res, ok := suiteRes.Lookup(b.Name(), w.Label, api)
 			if !ok {
+				if suiteFailed(suiteRes, b.Name(), w.Label, api) {
+					series.Set(api.String(), i, math.NaN())
+					continue
+				}
 				return nil, missingResultError(suiteRes, b.Name(), w.Label, api)
 			}
 			series.Set(api.String(), i, res.ExtraValue(core.ExtraBandwidthGBps))
@@ -228,7 +254,44 @@ func BandwidthDocument(id string, p *platforms.Platform, apis []hw.API, opts Opt
 	}
 	doc.Notes = append(doc.Notes,
 		fmt.Sprintf("theoretical peak bandwidth: %.1f GB/s", p.Profile.PeakBandwidthGBps))
+	addFailures(doc, suiteRes, p.ID)
 	return doc, nil
+}
+
+// addFailures copies a keep-going suite run's failed cells into the document
+// and flags the document degraded: aggregates computed from the surviving
+// cells no longer summarise the full grid. Clean runs append nothing, so
+// fault-free output stays byte-identical to the pre-fault-model goldens.
+func addFailures(doc *report.Document, s *core.SuiteResult, platform string) {
+	if len(s.Failed) == 0 {
+		return
+	}
+	for _, f := range s.Failed {
+		doc.Failed = append(doc.Failed, report.Failure{
+			Benchmark: f.Benchmark,
+			Workload:  f.Workload,
+			API:       f.API.String(),
+			Platform:  platform,
+			Class:     string(f.Class),
+			Attempts:  f.Attempts,
+			Reason:    f.Reason,
+		})
+	}
+	doc.Notes = append(doc.Notes, fmt.Sprintf(
+		"degraded: %d cell(s) failed on %s; geomeans and aggregates cover surviving cells only",
+		len(s.Failed), platform))
+}
+
+// suiteFailed reports whether a keep-going run recorded a failure for the
+// given cell, distinguishing a degraded gap (plot as NaN) from a genuinely
+// missing result (a bug worth surfacing).
+func suiteFailed(s *core.SuiteResult, bench, workload string, api hw.API) bool {
+	for _, f := range s.Failed {
+		if f.Benchmark == bench && f.Workload == workload && f.API == api {
+			return true
+		}
+	}
+	return false
 }
 
 // missingResultError surfaces the exclusion that explains an absent suite
@@ -369,6 +432,7 @@ func speedupDocument(id string, p *platforms.Platform, benchmarks []core.Benchma
 			Benchmark: skip.Benchmark, API: skip.API.String(), Reason: skip.Reason,
 		})
 	}
+	addFailures(doc, suiteRes, p.ID)
 	for _, name := range unranked {
 		doc.Notes = append(doc.Notes,
 			fmt.Sprintf("benchmark %s is not in the paper's figure order; plotted after the ranked benchmarks", name))
@@ -476,8 +540,15 @@ func runSummary(opts Options) (*report.Document, error) {
 		if err != nil {
 			return err
 		}
+		addFailures(doc, suiteRes, platformID)
 		g, err := suiteRes.GeoMeanSpeedup(hw.APIVulkan, baseline)
 		if err != nil {
+			// A degraded keep-going run can lose a whole baseline: keep the
+			// row (the document already records why) instead of aborting.
+			if len(suiteRes.Failed) > 0 {
+				t.AddRow(p.Profile.Name, baseline.String(), "n/a (degraded)", paper)
+				return nil
+			}
 			return err
 		}
 		t.AddRow(p.Profile.Name, baseline.String(), fmt.Sprintf("%.2fx", g), paper)

@@ -1,0 +1,267 @@
+// Package faults is the deterministic fault injector of the benchmark
+// harness. It models the failure classes the paper's measurement campaign hit
+// (§V, Table IV): transient driver faults, outright device loss, allocation
+// failure on datasets that do not fit, and kernel hangs. The runner attaches
+// it at the execute seam (hw.Device's fault hook), so injected faults travel
+// the same error path a real driver failure would.
+//
+// Determinism is the core contract: whether a given execution attempt faults
+// is a pure hash of (seed, rule, site) — never a shared PRNG stream — so the
+// fault schedule is bit-identical at any suite parallelism and in any cell
+// execution order. Same seed, same spec, same grid ⇒ same faults.
+package faults
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Class is one of the modelled failure classes.
+type Class uint8
+
+const (
+	// DriverFault is a transient front-end failure (the paper's sporadic
+	// driver errors): retrying the cell may succeed.
+	DriverFault Class = iota
+	// Hang is a kernel that never completes. It is transient (a retry
+	// re-dispatches), but it only surfaces through the runner's per-cell
+	// deadline; without one it is reported immediately instead of blocking.
+	Hang
+	// DeviceLost is a permanent loss of the device: retrying is pointless.
+	DeviceLost
+	// OOM is an allocation failure — the paper's datasets that do not fit
+	// device memory. Deterministically permanent for a given workload.
+	OOM
+	classCount
+)
+
+var classNames = [classCount]string{"driver-fault", "hang", "device-lost", "oom"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("faults.Class(%d)", int(c))
+}
+
+// Transient reports whether a retry of the faulted attempt can succeed.
+func (c Class) Transient() bool { return c == DriverFault || c == Hang }
+
+// ParseClass resolves a spec-grammar class name.
+func ParseClass(s string) (Class, error) {
+	for i, name := range classNames {
+		if s == name {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("faults: unknown class %q (want %s)", s, strings.Join(classNames[:], ", "))
+}
+
+// Site identifies one execution attempt of one suite cell. Every field feeds
+// the schedule hash, so two attempts differ in their fault draw exactly when
+// they differ in identity — never in when or where they ran.
+type Site struct {
+	Platform  string
+	Benchmark string
+	Workload  string
+	API       string
+	// Attempt is the zero-based retry ordinal within the cell.
+	Attempt int
+}
+
+func (s Site) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s attempt %d", s.Platform, s.Benchmark, s.Workload, s.API, s.Attempt)
+}
+
+// Error is an injected fault surfaced as an execution error. The runner's
+// taxonomy classifies it by its Class (errors.As through any wrapping).
+type Error struct {
+	Class Class
+	Site  Site
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s at %s", e.Class, e.Site)
+}
+
+// Rule arms one failure class at a per-attempt rate, optionally scoped to a
+// platform, benchmark or API (empty fields match anything). Rules are tried
+// in order; the first one that matches and draws a fault wins the attempt.
+type Rule struct {
+	Class Class
+	// Rate is the probability in [0,1] that a matching execution attempt
+	// faults. The draw is per attempt, not per dispatch, so a retry budget of
+	// n absorbs a transient rule unless n+1 consecutive draws all fire.
+	Rate float64
+	// Platform, Benchmark and API scope the rule; empty matches any value.
+	Platform, Benchmark, API string
+}
+
+func (r Rule) matches(s Site) bool {
+	return (r.Platform == "" || r.Platform == s.Platform) &&
+		(r.Benchmark == "" || r.Benchmark == s.Benchmark) &&
+		(r.API == "" || r.API == s.API)
+}
+
+// Stats counts an injector's activity, for tests and post-run reporting.
+type Stats struct {
+	// Planned counts attempts that drew a fault; Fired counts plans whose
+	// fault actually reached a dispatch (a plan aimed past the attempt's last
+	// dispatch never fires and the execution stays clean).
+	Planned, Fired uint64
+}
+
+// Injector plans deterministic faults for execution attempts. It is safe for
+// concurrent use by the suite scheduler's workers: planning is a pure
+// function of (Seed, Rules, Site), and the counters are atomic.
+type Injector struct {
+	Seed    int64
+	Rules   []Rule
+	planned atomic.Uint64
+	fired   atomic.Uint64
+}
+
+// New builds an injector from explicit rules.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{Seed: seed, Rules: rules}
+}
+
+// Parse builds an injector from the -faults spec grammar:
+//
+//	spec   := rule (';' rule)*
+//	rule   := class ':' rate ('@' filter (',' filter)*)?
+//	filter := ('platform'|'benchmark'|'api') '=' value
+//	class  := 'driver-fault' | 'hang' | 'device-lost' | 'oom'
+//
+// e.g. "driver-fault:0.1;oom:1.0@benchmark=cfd,platform=rx560".
+func Parse(spec string, seed int64) (*Injector, error) {
+	in := &Injector{Seed: seed}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		body, filters, _ := strings.Cut(part, "@")
+		classStr, rateStr, ok := strings.Cut(body, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: rule %q: want class:rate", part)
+		}
+		class, err := ParseClass(strings.TrimSpace(classStr))
+		if err != nil {
+			return nil, err
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return nil, fmt.Errorf("faults: rule %q: rate must be a number in [0,1]", part)
+		}
+		rule := Rule{Class: class, Rate: rate}
+		if filters != "" {
+			for _, f := range strings.Split(filters, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(f), "=")
+				if !ok || val == "" {
+					return nil, fmt.Errorf("faults: rule %q: filter %q: want key=value", part, f)
+				}
+				switch key {
+				case "platform":
+					rule.Platform = val
+				case "benchmark":
+					rule.Benchmark = val
+				case "api":
+					rule.API = val
+				default:
+					return nil, fmt.Errorf("faults: rule %q: unknown filter key %q (want platform, benchmark or api)", part, key)
+				}
+			}
+		}
+		in.Rules = append(in.Rules, rule)
+	}
+	if len(in.Rules) == 0 {
+		return nil, fmt.Errorf("faults: empty spec %q", spec)
+	}
+	return in, nil
+}
+
+// Plan is the fault (at most one) scheduled for a single execution attempt.
+// The runner probes it from the device's fault hook once per dispatch.
+type Plan struct {
+	Class Class
+	// Dispatch is the zero-based dispatch ordinal within the attempt at which
+	// the fault fires. An attempt with fewer dispatches never reaches it and
+	// completes clean.
+	Dispatch int
+	Site     Site
+
+	fired bool
+	in    *Injector
+}
+
+// FireAt reports whether the fault fires at this dispatch ordinal, recording
+// the firing. It fires at most once.
+func (p *Plan) FireAt(dispatch int) bool {
+	if p.fired || dispatch != p.Dispatch {
+		return false
+	}
+	p.fired = true
+	if p.in != nil {
+		p.in.fired.Add(1)
+	}
+	return true
+}
+
+// Fired reports whether the planned fault reached a dispatch.
+func (p *Plan) Fired() bool { return p.fired }
+
+// Err returns the injected error this plan surfaces.
+func (p *Plan) Err() *Error { return &Error{Class: p.Class, Site: p.Site} }
+
+// maxFaultDispatch bounds how deep into an attempt a fault can strike: plans
+// aim at one of the first maxFaultDispatch dispatches, so faults hit both
+// before any work and mid-trace without needing to know the cell's length.
+const maxFaultDispatch = 3
+
+// Plan draws the fault schedule for one execution attempt: nil when the
+// attempt runs clean. The draw is a pure hash of (seed, rule index, site) —
+// calling Plan for the same site always returns the same schedule, regardless
+// of thread, order or how often other sites were planned.
+func (in *Injector) Plan(site Site) *Plan {
+	for i, r := range in.Rules {
+		if r.Rate <= 0 || !r.matches(site) {
+			continue
+		}
+		x := in.draw(i, site)
+		if float64(x>>11)/(1<<53) >= r.Rate {
+			continue
+		}
+		in.planned.Add(1)
+		// Re-mix so the dispatch index is not correlated with the rate draw.
+		x = mix(x)
+		return &Plan{Class: r.Class, Dispatch: int(x % maxFaultDispatch), Site: site, in: in}
+	}
+	return nil
+}
+
+// Stats returns the planned/fired counters.
+func (in *Injector) Stats() Stats {
+	return Stats{Planned: in.planned.Load(), Fired: in.fired.Load()}
+}
+
+// draw hashes (seed, rule, site) into a well-mixed 64-bit value.
+func (in *Injector) draw(rule int, s Site) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s|%s|%s|%s|%d", in.Seed, rule, s.Platform, s.Benchmark, s.Workload, s.API, s.Attempt)
+	return mix(h.Sum64())
+}
+
+// mix is the splitmix64 finalizer: FNV alone leaves low-bit structure on
+// short inputs, and the rate comparison uses the high bits.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

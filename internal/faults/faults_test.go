@@ -1,0 +1,189 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/faults"
+)
+
+func site(platform, bench, wl, api string, attempt int) faults.Site {
+	return faults.Site{Platform: platform, Benchmark: bench, Workload: wl, API: api, Attempt: attempt}
+}
+
+func TestParseSpec(t *testing.T) {
+	in, err := faults.Parse("driver-fault:0.1; oom:1.0@benchmark=cfd,platform=rx560 ;hang:0@api=Vulkan", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Seed != 7 {
+		t.Fatalf("Seed = %d, want 7", in.Seed)
+	}
+	want := []faults.Rule{
+		{Class: faults.DriverFault, Rate: 0.1},
+		{Class: faults.OOM, Rate: 1.0, Benchmark: "cfd", Platform: "rx560"},
+		{Class: faults.Hang, Rate: 0, API: "Vulkan"},
+	}
+	if len(in.Rules) != len(want) {
+		t.Fatalf("parsed %d rules, want %d: %+v", len(in.Rules), len(want), in.Rules)
+	}
+	for i, r := range in.Rules {
+		if r != want[i] {
+			t.Errorf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                      // empty spec
+		";;",                    // rules all empty
+		"driver-fault",          // missing rate
+		"meltdown:0.1",          // unknown class
+		"driver-fault:1.5",      // rate out of range
+		"driver-fault:x",        // rate not a number
+		"oom:0.5@gpu=rx560",     // unknown filter key
+		"oom:0.5@benchmark",     // filter missing value
+		"driver-fault:0.1@api=", // empty filter value
+		"driver-fault:-0.1",     // negative rate
+	} {
+		if _, err := faults.Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, c := range []faults.Class{faults.DriverFault, faults.Hang, faults.DeviceLost, faults.OOM} {
+		got, err := faults.ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if _, err := faults.ParseClass("nope"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+}
+
+func TestClassTransient(t *testing.T) {
+	transient := map[faults.Class]bool{
+		faults.DriverFault: true,
+		faults.Hang:        true,
+		faults.DeviceLost:  false,
+		faults.OOM:         false,
+	}
+	for c, want := range transient {
+		if got := c.Transient(); got != want {
+			t.Errorf("%s.Transient() = %v, want %v", c, got, want)
+		}
+	}
+}
+
+// TestPlanDeterministic: planning is a pure function of (seed, rules, site) —
+// repeated calls, interleaved with other sites, always return the same
+// schedule, which is what makes the fault schedule independent of scheduling
+// order and parallelism.
+func TestPlanDeterministic(t *testing.T) {
+	mk := func() *faults.Injector {
+		return faults.New(99, faults.Rule{Class: faults.DriverFault, Rate: 0.5})
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 500; i++ {
+		s := site("p", "bench", "w", "API", i)
+		pa, pb := a.Plan(s), b.Plan(s)
+		// Interleave unrelated plans on b only; they must not disturb its draws.
+		b.Plan(site("other", "bench", "w", "API", i))
+		if (pa == nil) != (pb == nil) {
+			t.Fatalf("attempt %d: plan presence diverged between injectors", i)
+		}
+		if pa == nil {
+			continue
+		}
+		if pa.Class != pb.Class || pa.Dispatch != pb.Dispatch {
+			t.Fatalf("attempt %d: plans diverged: %+v vs %+v", i, pa, pb)
+		}
+		if pa.Dispatch < 0 || pa.Dispatch >= 3 {
+			t.Fatalf("attempt %d: dispatch ordinal %d out of range", i, pa.Dispatch)
+		}
+	}
+}
+
+// TestPlanEmpiricalRate: over many distinct sites the planned fraction must
+// track the configured rate. The check brackets generously — it guards against
+// a broken hash (all-fault or never-fault), not statistical purity.
+func TestPlanEmpiricalRate(t *testing.T) {
+	const rate = 0.2
+	in := faults.New(12345, faults.Rule{Class: faults.DriverFault, Rate: rate})
+	const n = 4000
+	planned := 0
+	for i := 0; i < n; i++ {
+		if p := in.Plan(site("p", "bench", "w", "API", i)); p != nil {
+			planned++
+		}
+	}
+	got := float64(planned) / n
+	if got < rate-0.05 || got > rate+0.05 {
+		t.Fatalf("empirical fault rate %.3f, want ~%.2f", got, rate)
+	}
+	if s := in.Stats(); s.Planned != uint64(planned) || s.Fired != 0 {
+		t.Fatalf("Stats() = %+v, want Planned=%d Fired=0", s, planned)
+	}
+}
+
+func TestPlanRespectsFilters(t *testing.T) {
+	in := faults.New(1, faults.Rule{Class: faults.OOM, Rate: 1.0, Benchmark: "cfd", API: "Vulkan"})
+	if p := in.Plan(site("p", "cfd", "w", "Vulkan", 0)); p == nil || p.Class != faults.OOM {
+		t.Fatalf("matching site: plan = %+v, want an OOM plan", p)
+	}
+	for _, s := range []faults.Site{
+		site("p", "bfs", "w", "Vulkan", 0),
+		site("p", "cfd", "w", "OpenCL", 0),
+	} {
+		if p := in.Plan(s); p != nil {
+			t.Errorf("non-matching site %v: plan = %+v, want nil", s, p)
+		}
+	}
+}
+
+func TestRulesTriedInOrder(t *testing.T) {
+	// The first matching rule that draws wins; a rate-1.0 first rule shadows
+	// everything after it.
+	in := faults.New(3,
+		faults.Rule{Class: faults.DeviceLost, Rate: 1.0},
+		faults.Rule{Class: faults.OOM, Rate: 1.0})
+	for i := 0; i < 50; i++ {
+		p := in.Plan(site("p", "b", "w", "A", i))
+		if p == nil || p.Class != faults.DeviceLost {
+			t.Fatalf("attempt %d: plan = %+v, want DeviceLost from the first rule", i, p)
+		}
+	}
+}
+
+func TestFireAtFiresOnce(t *testing.T) {
+	in := faults.New(1, faults.Rule{Class: faults.DriverFault, Rate: 1.0})
+	p := in.Plan(site("p", "b", "w", "A", 0))
+	if p == nil {
+		t.Fatal("rate-1.0 rule did not plan")
+	}
+	for d := 0; d < p.Dispatch; d++ {
+		if p.FireAt(d) {
+			t.Fatalf("fired at dispatch %d before its ordinal %d", d, p.Dispatch)
+		}
+	}
+	if !p.FireAt(p.Dispatch) {
+		t.Fatal("did not fire at its dispatch ordinal")
+	}
+	if p.FireAt(p.Dispatch) {
+		t.Fatal("fired twice")
+	}
+	if !p.Fired() {
+		t.Fatal("Fired() = false after firing")
+	}
+	if s := in.Stats(); s.Fired != 1 {
+		t.Fatalf("Stats().Fired = %d, want 1", s.Fired)
+	}
+	err := p.Err()
+	if err.Class != faults.DriverFault || !strings.Contains(err.Error(), "driver-fault") {
+		t.Fatalf("Err() = %v, want a driver-fault error", err)
+	}
+}

@@ -24,6 +24,11 @@ type Device struct {
 	// trace event for later replay (see trace.go). Queue methods record
 	// through it; nil disables recording at zero cost.
 	rec *Recorder
+	// faultHook, when non-nil, is consulted before every kernel dispatch; a
+	// non-nil return aborts the dispatch with that error, exactly as a driver
+	// failure would. The runner installs it to enforce per-cell deadlines and
+	// to inject deterministic faults (internal/faults); nil costs nothing.
+	faultHook func() error
 }
 
 // NewDevice constructs a simulated device from a profile. The device exposes
@@ -94,6 +99,12 @@ func (d *Device) SetRecorder(r *Recorder) { d.rec = r }
 // front ends fetch it once at context/device creation and record host-side
 // events (knob-tagged spends, waits, readings) through it.
 func (d *Device) Recorder() *Recorder { return d.rec }
+
+// SetFaultHook installs (or, with nil, removes) the pre-dispatch hook every
+// ExecuteKernel consults. The hook runs on the dispatching goroutine before
+// any functional work; returning an error fails the dispatch through the same
+// path a real driver error takes, so all API front ends propagate it.
+func (d *Device) SetFaultHook(h func() error) { d.faultHook = h }
 
 // Memory returns the device's memory system.
 func (d *Device) Memory() *MemorySystem { return d.mem }
@@ -177,6 +188,11 @@ func (q *Queue) AvailableAt() time.Duration { return q.engine.AvailableAt() }
 // so replay can recompute its duration under any driver profile.
 func (q *Queue) ExecuteKernel(earliest time.Duration, api API, prog *kernels.Program,
 	cfg kernels.DispatchConfig, extra Cost) (KernelRun, error) {
+	if h := q.dev.faultHook; h != nil {
+		if err := h(); err != nil {
+			return KernelRun{}, err
+		}
+	}
 	if q.kind != QueueCompute && q.kind != QueueGraphics {
 		return KernelRun{}, fmt.Errorf("hw: queue %s%d cannot execute compute work", q.kind, q.index)
 	}

@@ -458,7 +458,9 @@ func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, global, local kernels.Dim
 	cfg := kernels.DispatchConfig{Groups: groups, Buffers: buffers, Push: k.values}
 	run, err := q.hw.ExecuteKernel(queued, hw.APIOpenCL, k.kp, cfg, hw.KnobCost(hw.KnobPipelineBind))
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrOutOfResources, err)
+		// %w on the cause as well: fault classification must survive the
+		// API-level error translation.
+		return nil, fmt.Errorf("%w: %w", ErrOutOfResources, err)
 	}
 	ref := q.ctx.rec.QueueMark(q.hw.Slot())
 	return &Event{Queued: queued, Submit: queued, Start: run.Start, End: run.End, rec: q.ctx.rec, ref: ref}, nil

@@ -36,7 +36,10 @@ type jsonDocument struct {
 	Metrics  []jsonMetric   `json:"metrics,omitempty"`
 	Results  []*core.Result `json:"results,omitempty"`
 	Excluded []Exclusion    `json:"excluded,omitempty"`
-	Notes    []string       `json:"notes,omitempty"`
+	// Failed is additive (schema policy: no version bump): clean documents
+	// omit it and encode byte-identically to pre-fault-model output.
+	Failed []Failure `json:"failed,omitempty"`
+	Notes  []string  `json:"notes,omitempty"`
 }
 
 type jsonTable struct {
@@ -91,6 +94,7 @@ func toJSONDocument(d *Document) *jsonDocument {
 		Title:    d.Title,
 		Results:  d.Results,
 		Excluded: d.Excluded,
+		Failed:   d.Failed,
 		Notes:    d.Notes,
 	}
 	for _, t := range d.Tables {
@@ -119,6 +123,7 @@ func fromJSONDocument(jd *jsonDocument) *Document {
 		Title:    jd.Title,
 		Results:  jd.Results,
 		Excluded: jd.Excluded,
+		Failed:   jd.Failed,
 		Notes:    jd.Notes,
 	}
 	for _, t := range jd.Tables {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +83,42 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 	if got.Excluded[0].Benchmark != "cfd" {
 		t.Errorf("exclusions lost: %+v", got.Excluded)
+	}
+}
+
+// TestJSONFailedCellsRoundTrip: degraded-run failure entries survive the
+// round trip field for field, and — because the schema change is additive —
+// a clean document serialises without any "failed" key at all, so fault-free
+// output stays byte-identical to documents written before the field existed.
+func TestJSONFailedCellsRoundTrip(t *testing.T) {
+	doc := sampleDocument()
+	doc.Failed = append(doc.Failed,
+		report.Failure{Benchmark: "bfs", Workload: "64K", API: "Vulkan", Platform: "adreno506",
+			Class: "transient", Attempts: 3, Reason: "injected driver-fault"},
+		report.Failure{Benchmark: "lud", API: "OpenCL",
+			Class: "permanent", Attempts: 1, Reason: "panicked"})
+	data, err := report.EncodeJSON([]*report.Document{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := report.DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded[0]
+	if !reflect.DeepEqual(got.Failed, doc.Failed) {
+		t.Errorf("failed cells lost in round trip:\n%+v\nwant\n%+v", got.Failed, doc.Failed)
+	}
+	if !got.Degraded() {
+		t.Error("decoded document with failed cells does not report Degraded()")
+	}
+
+	clean, err := report.EncodeJSON([]*report.Document{sampleDocument()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(clean, []byte(`"failed"`)) {
+		t.Error(`clean document serialises a "failed" key; the additive schema must omit it`)
 	}
 }
 

@@ -289,6 +289,22 @@ type Exclusion struct {
 	Reason    string `json:"reason,omitempty"`
 }
 
+// Failure records one suite cell that produced no data because execution
+// failed — a panic, an injected or real driver fault, a deadline expiry —
+// as opposed to an anticipated Table IV exclusion. A document carrying
+// failures is degraded: its aggregates cover only the surviving cells.
+type Failure struct {
+	Benchmark string `json:"benchmark"`
+	Workload  string `json:"workload,omitempty"`
+	API       string `json:"api"`
+	Platform  string `json:"platform,omitempty"`
+	// Class is the failure taxonomy bucket ("transient" or "permanent").
+	Class string `json:"class"`
+	// Attempts is how many executions the retry budget spent on the cell.
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason,omitempty"`
+}
+
 // Document is the rendered output of one experiment.
 type Document struct {
 	// ID is the experiment identifier (e.g. "fig2a"), shared with the CLI,
@@ -304,8 +320,15 @@ type Document struct {
 	Results []*core.Result
 	// Excluded lists the benchmark/API pairs that produced no data.
 	Excluded []Exclusion
-	Notes    []string
+	// Failed lists the cells a keep-going run lost to hard failures (an
+	// additive schema field: absent on clean runs, so fault-free output is
+	// byte-identical to earlier schema-1 documents).
+	Failed []Failure
+	Notes  []string
 }
+
+// Degraded reports whether the document lost cells to execution failures.
+func (d *Document) Degraded() bool { return len(d.Failed) > 0 }
 
 // AddMetric appends a named headline scalar.
 func (d *Document) AddMetric(name, unit string, value float64) {
@@ -352,10 +375,26 @@ func (d *Document) Render() string {
 	for _, e := range d.Excluded {
 		fmt.Fprintf(&b, "excluded: %s/%s: %s\n", e.Benchmark, e.API, e.Reason)
 	}
+	for _, f := range d.Failed {
+		fmt.Fprintf(&b, "failed: %s\n", formatFailure(f))
+	}
 	for _, n := range d.Notes {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
+}
+
+// formatFailure renders one failed cell for the text and markdown outputs.
+func formatFailure(f Failure) string {
+	cell := f.Benchmark
+	if f.Workload != "" {
+		cell += "/" + f.Workload
+	}
+	cell += "/" + f.API
+	if f.Platform != "" {
+		cell += " on " + f.Platform
+	}
+	return fmt.Sprintf("%s: %s after %d attempt(s): %s", cell, f.Class, f.Attempts, f.Reason)
 }
 
 // CSV renders every table and series of the document as RFC 4180 CSV blocks
@@ -392,6 +431,9 @@ func (d *Document) Markdown() string {
 	}
 	for _, e := range d.Excluded {
 		fmt.Fprintf(&b, "- excluded %s/%s: %s\n", e.Benchmark, e.API, e.Reason)
+	}
+	for _, f := range d.Failed {
+		fmt.Fprintf(&b, "- failed %s\n", formatFailure(f))
 	}
 	for _, n := range d.Notes {
 		fmt.Fprintf(&b, "- note: %s\n", n)

@@ -186,7 +186,9 @@ func (q *Queue) execute(cb *CommandBuffer, earliest time.Duration) (SubmitStats,
 			}
 			run, err := q.hw.ExecuteKernel(earliest, hw.APIVulkan, prog, cfg, pending)
 			if err != nil {
-				return stats, refs, fmt.Errorf("%w: %v", ErrDeviceLost, err)
+				// Wrap the cause with %w too: fault classification (transient
+				// vs permanent) must survive the API-level error translation.
+				return stats, refs, fmt.Errorf("%w: %w", ErrDeviceLost, err)
 			}
 			pending = hw.Cost{}
 			stats.Dispatches++
