@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check calibrate calibrate-sweep clean
+.PHONY: all build vet test race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check check-warm calibrate calibrate-sweep clean
 
 all: build vet test
 
@@ -39,9 +39,11 @@ bench-dispatch:
 	set -o pipefail; $(GO) test -run '^$$' -bench '^BenchmarkExecute' -benchmem ./internal/kernels \
 		| $(GO) run ./cmd/benchjson -update BENCH_dispatch.json
 
-# Suite wall-time: the calibration sweep and `-run all`, cached (one
-# execution per distinct cell + analytic replays) vs uncached. One iteration
-# each — these are whole-workflow timings, minutes not microseconds.
+# Suite wall-time: the calibration sweep and `-run all` — cached (one
+# execution per distinct cell + analytic replays), uncached, and against a
+# warm persistent store (pure replay from disk, zero executions). One
+# iteration each — these are whole-workflow timings; the cold/warm ratio is
+# the value of persisting snapshots across runs.
 bench-suite:
 	set -o pipefail; $(GO) test -run '^$$' -bench '^Benchmark(Sweep|RunAll)' -benchtime 1x -benchmem -timeout 30m . ./internal/calibrate \
 		| $(GO) run ./cmd/benchjson -update BENCH_suite.json
@@ -64,8 +66,23 @@ results:
 
 # Compare every experiment against the paper's published values within the
 # documented tolerances (internal/expected). Mirrors TestPaperFidelity.
+# STORE=dir attaches the persistent snapshot store, so a second `make check
+# STORE=dir` is pure replay (CI keys the directory on the code-version
+# fingerprint, see ci.yml).
+STORE ?=
+STOREFLAGS = $(if $(STORE),-store $(STORE))
 check:
-	$(GO) run ./cmd/vcbench -check all -reps 1
+	$(GO) run ./cmd/vcbench -check all -reps 1 $(STOREFLAGS)
+
+# Warm-store smoke: populate a throwaway store, re-run the fidelity check
+# against it and require a pure-replay pass — the second run must execute
+# zero cells ("snapshot store: 0 executed" in the -cache-stats report).
+check-warm:
+	rm -rf .vcbench-store-smoke
+	$(GO) run ./cmd/vcbench -check all -reps 1 -store .vcbench-store-smoke
+	set -o pipefail; $(GO) run ./cmd/vcbench -check all -reps 1 -store .vcbench-store-smoke -cache-stats 2>&1 \
+		| grep 'snapshot store: 0 executed'
+	rm -rf .vcbench-store-smoke
 
 # Per-benchmark Fig. 2/4 calibration error report for every platform: each
 # pinned speedup bar, figure geomean and bandwidth plateau with its relative
@@ -82,4 +99,4 @@ calibrate-sweep:
 
 clean:
 	rm -f vcbench
-	rm -rf out
+	rm -rf out .vcbench-store .vcbench-store-smoke

@@ -2,6 +2,7 @@ package vcomputebench_test
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"vcomputebench/internal/core"
@@ -175,6 +176,44 @@ func TestChaosFaultedExecutionNeverCached(t *testing.T) {
 	}
 	if st := faultedCache.Stats(); st.Hits != 0 || st.Entries != 0 {
 		t.Fatalf("cache stats after second recovered run = %+v, want no hits and no entries", st)
+	}
+}
+
+// TestChaosFaultedExecutionNeverPersisted extends the never-cached invariant
+// to the persistent store: a retry-recovered cell must leave no entry on
+// disk — a tainted snapshot that survived the process would poison every
+// future run, which is strictly worse than the in-memory case.
+func TestChaosFaultedExecutionNeverPersisted(t *testing.T) {
+	p, err := platforms.ByID(platforms.IDGTX1050Ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Get("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := b.Workloads(p.Profile.Class)[0]
+
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	runner := &core.Runner{
+		Repetitions: 1, Seed: 42, Cache: store,
+		Retries: 1, Faults: plannerAttempt0{class: faults.DriverFault},
+	}
+	if _, err := runner.Run(p, b, hw.APIVulkan, w); err != nil {
+		t.Fatalf("fault on attempt 0 with Retries=1 should recover: %v", err)
+	}
+	if snaps, _ := filepath.Glob(filepath.Join(dir, "*.snap")); len(snaps) != 0 {
+		t.Fatalf("retry-recovered run persisted %d snapshots, want 0 (faulted executions are never trusted)", len(snaps))
+	}
+	st := store.Stats()
+	if st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("store stats after recovered run = %+v, want no hits and no entries", st)
+	}
+	for _, tier := range st.Tiers {
+		if tier.Entries != 0 {
+			t.Fatalf("%s tier holds %d entries after a recovered run, want 0", tier.Tier, tier.Entries)
+		}
 	}
 }
 

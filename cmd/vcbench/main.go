@@ -37,6 +37,7 @@ import (
 	"syscall"
 
 	"vcomputebench/internal/calibrate"
+	"vcomputebench/internal/codeversion"
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/expected"
 	"vcomputebench/internal/experiments"
@@ -67,7 +68,10 @@ func main() {
 		format      = flag.String("format", "text", "output format: text, csv, markdown or json")
 		outDir      = flag.String("o", "", "directory to write per-experiment output files (default: stdout)")
 		useCache    = flag.Bool("cache", true, "share a counter-replay snapshot cache across experiments: each distinct (platform, benchmark, workload, API) cell executes once and is replayed elsewhere (output is byte-identical either way)")
-		cacheStats  = flag.Bool("cache-stats", false, "print snapshot-cache hit/miss statistics to stderr when done")
+		storeDir    = flag.String("store", "", "directory of the persistent snapshot store; entries are keyed by cell identity and the build's code-version fingerprint, so a warm store makes every run pure replay (implies -cache; output is byte-identical either way)")
+		storeGC     = flag.Bool("store-gc", false, "with -store: remove entries written by builds whose execution-relevant code differs from this one, plus undecodable entries and orphaned temp files")
+		codeVer     = flag.Bool("code-version", false, "print the build's code-version fingerprint (the hash persistent store entries are keyed by) and exit")
+		cacheStats  = flag.Bool("cache-stats", false, "print snapshot-store hit/miss statistics, per tier, to stderr when done")
 		faultSpec   = flag.String("faults", "", "deterministic fault-injection spec: 'class:rate[@k=v,...][;...]' with classes driver-fault, hang, device-lost, oom and filters platform=, benchmark=, api= (lowercase, e.g. 'driver-fault:0.05;oom:0.01@api=vulkan')")
 		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault schedule (0 = use -seed); the same seed and spec give a bit-identical schedule at any -parallel")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (expiry is a transient failure, eligible for -retries)")
@@ -76,6 +80,11 @@ func main() {
 		keepGoing   = flag.Bool("keep-going", false, "degrade failed cells into structured report entries instead of aborting; a degraded-but-complete run exits 3")
 	)
 	flag.Parse()
+
+	if *codeVer {
+		fmt.Println(codeversion.Fingerprint())
+		return
+	}
 
 	// Cancel the suite on SIGINT/SIGTERM: in-flight cells finish, unlaunched
 	// cells are skipped, and -run flushes whatever documents completed.
@@ -105,7 +114,21 @@ func main() {
 		}
 		opts.Faults = inj
 	}
-	if *useCache {
+	switch {
+	case *storeDir != "":
+		disk, err := core.OpenDiskStore(*storeDir, codeversion.Fingerprint(), nil)
+		if err != nil {
+			fatal(err)
+		}
+		if *storeGC {
+			removed, reclaimed, err := disk.GC()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "vcbench: store GC: removed %d stale files, reclaimed %d bytes\n", removed, reclaimed)
+		}
+		opts.Cache = core.NewTieredStore(core.NewSnapshotCache(0), disk)
+	case *useCache:
 		opts.Cache = core.NewSnapshotCache(0)
 	}
 	if *cacheStats {
@@ -146,6 +169,9 @@ func main() {
 			fatal(err)
 		}
 	default:
+		if *storeDir != "" && *storeGC {
+			return // standalone `vcbench -store DIR -store-gc` maintenance run
+		}
 		flag.Usage()
 		os.Exit(exitHard)
 	}
@@ -193,16 +219,21 @@ func fatal(err error) {
 	os.Exit(exitCode(err))
 }
 
-// printCacheStats reports the snapshot cache's traffic: misses are cells that
-// executed, hits are cells served by analytic replay.
-func printCacheStats(c *core.SnapshotCache) {
+// printCacheStats reports the snapshot store's traffic: misses are cells that
+// executed, hits are cells served by analytic replay. Composed stores get a
+// per-tier breakdown.
+func printCacheStats(c core.SnapshotStore) {
 	if c == nil {
 		fmt.Fprintln(os.Stderr, "vcbench: snapshot cache disabled (-cache=false)")
 		return
 	}
 	s := c.Stats()
-	fmt.Fprintf(os.Stderr, "vcbench: snapshot cache: %d executed (misses), %d replayed (hits), %d entries, %d evictions\n",
-		s.Misses, s.Hits, s.Entries, s.Evictions)
+	fmt.Fprintf(os.Stderr, "vcbench: snapshot store: %d executed (misses), %d replayed (hits), %d entries, %d evictions\n",
+		s.Executions, s.Hits, s.Entries, s.Evictions)
+	for _, t := range s.Tiers {
+		fmt.Fprintf(os.Stderr, "vcbench:   %s tier: %d hits, %d misses, %d evictions, %d entries, %d bytes, %d decode failures, %d dropped puts\n",
+			t.Tier, t.Hits, t.Misses, t.Evictions, t.Entries, t.Bytes, t.DecodeFailures, t.DroppedPuts)
+	}
 }
 
 func listAll() {

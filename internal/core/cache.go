@@ -14,46 +14,101 @@ import (
 // bounded.
 const DefaultSnapshotCacheEntries = 512
 
-// cacheKey identifies one measurement cell up to everything that can change
-// its execution trace. Crucially it does NOT include any timing-only profile
-// field: two platforms that differ only in DriverProfile knob values (a
-// calibration sweep's candidates) map to the same key and share one executed
-// snapshot, which is the entire point of the cache. The counter-relevant
-// structural fields are folded in via hw.Profile.ExecutionFingerprint.
-type cacheKey struct {
-	platform    string
-	fingerprint string
-	benchmark   string
-	workload    string
-	api         hw.API
-	seed        int64
-	reps        int
-	warmup      int
-	validate    bool
+// SnapshotKey identifies one measurement cell up to everything that can
+// change its execution trace. Crucially it does NOT include any timing-only
+// profile field: two platforms that differ only in DriverProfile knob values
+// (a calibration sweep's candidates) map to the same key and share one
+// executed snapshot, which is the entire point of the snapshot layer. The
+// counter-relevant structural fields are folded in via
+// hw.Profile.ExecutionFingerprint. The key is a comparable value, usable as a
+// map key by any SnapshotStore implementation.
+type SnapshotKey struct {
+	Platform    string
+	Fingerprint string
+	Benchmark   string
+	Workload    string
+	API         hw.API
+	Seed        int64
+	Reps        int
+	Warmup      int
+	Validate    bool
 }
 
-// CacheStats reports a cache's traffic. Lookups = Hits + Misses.
+// SnapshotStore is the pluggable storage layer behind the execute/replay
+// seam: the runner asks it for an already-executed cell before paying for
+// execution, and offers it the snapshot of every clean first-attempt
+// execution afterwards. Implementations must be safe for concurrent use (the
+// suite scheduler's workers share one store) and must degrade internal
+// failures — a corrupt entry, a full disk — to misses and dropped puts, never
+// to errors: storage is an accelerator, not a correctness dependency.
+//
+// The faulted-executions-never-stored invariant is enforced at the runner
+// boundary (only clean first attempts reach Put), so implementations may
+// persist anything they are handed.
+type SnapshotStore interface {
+	// Get returns the snapshot for the key, or ok=false on a miss.
+	Get(k SnapshotKey) (*Snapshot, bool)
+	// Put stores the snapshot under the key (best-effort).
+	Put(k SnapshotKey, s *Snapshot)
+	// Stats reports the store's traffic, per tier where applicable.
+	Stats() CacheStats
+}
+
+// TierStats is the traffic of one tier of a composed store.
+type TierStats struct {
+	// Tier names the tier ("memory", "disk").
+	Tier string
+	// Hits, Misses and Evictions count this tier's own traffic. For the
+	// memory tier of a tiered store, misses include lookups later satisfied
+	// by the disk tier.
+	Hits, Misses, Evictions uint64
+	// Entries is the tier's current entry count.
+	Entries int
+	// Bytes is the tier's storage footprint, where it tracks one (disk).
+	Bytes int64
+	// DecodeFailures counts entries that existed but could not be decoded —
+	// corrupted, truncated, codec-version-mismatched or referencing kernels
+	// that no longer exist. Each one degraded to a miss.
+	DecodeFailures uint64
+	// DroppedPuts counts snapshots the tier failed to persist (encode errors,
+	// I/O failures). Each one degraded to a no-op.
+	DroppedPuts uint64
+}
+
+// CacheStats reports a store's traffic. At the top level Lookups = Hits +
+// Misses, and — because the runner executes a cell exactly when its store
+// lookup misses — Misses is the number of cells that paid for execution.
+// Composed stores additionally break traffic down per tier; the original
+// flat fields keep their pre-tier meaning, so existing consumers read the
+// same numbers as before.
 type CacheStats struct {
 	Hits, Misses, Evictions uint64
 	Entries                 int
+
+	// Executions mirrors Misses under the store-miss-means-execution
+	// contract, under the name the warm-run acceptance checks use.
+	Executions uint64
+	// Tiers breaks the traffic down per tier for composed stores (nil for a
+	// plain in-memory cache).
+	Tiers []TierStats
 }
 
-// SnapshotCache is a bounded, concurrency-safe LRU cache of executed
-// measurement snapshots. The suite scheduler's workers share one instance, so
-// all methods take an internal lock; the expensive work (executing a cell,
-// replaying a trace) happens outside the lock.
+// SnapshotCache is a bounded, concurrency-safe in-memory LRU SnapshotStore.
+// The suite scheduler's workers share one instance, so all methods take an
+// internal lock; the expensive work (executing a cell, replaying a trace)
+// happens outside the lock.
 type SnapshotCache struct {
 	mu        sync.Mutex
 	max       int
 	ll        *list.List // front = most recently used
-	entries   map[cacheKey]*list.Element
+	entries   map[SnapshotKey]*list.Element
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
 type cacheEntry struct {
-	key  cacheKey
+	key  SnapshotKey
 	snap *Snapshot
 }
 
@@ -67,12 +122,12 @@ func NewSnapshotCache(maxEntries int) *SnapshotCache {
 	return &SnapshotCache{
 		max:     maxEntries,
 		ll:      list.New(),
-		entries: make(map[cacheKey]*list.Element),
+		entries: make(map[SnapshotKey]*list.Element),
 	}
 }
 
-// get returns the snapshot for the key, updating recency and hit/miss stats.
-func (c *SnapshotCache) get(k cacheKey) (*Snapshot, bool) {
+// Get returns the snapshot for the key, updating recency and hit/miss stats.
+func (c *SnapshotCache) Get(k SnapshotKey) (*Snapshot, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[k]
@@ -85,9 +140,9 @@ func (c *SnapshotCache) get(k cacheKey) (*Snapshot, bool) {
 	return el.Value.(*cacheEntry).snap, true
 }
 
-// put inserts (or replaces) the snapshot for the key, evicting the least
+// Put inserts (or replaces) the snapshot for the key, evicting the least
 // recently used entry beyond the bound.
-func (c *SnapshotCache) put(k cacheKey, s *Snapshot) {
+func (c *SnapshotCache) Put(k SnapshotKey, s *Snapshot) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
@@ -108,11 +163,20 @@ func (c *SnapshotCache) put(k cacheKey, s *Snapshot) {
 func (c *SnapshotCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len()}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.ll.Len(),
+		Executions: c.misses,
+	}
 }
 
-// snapshotKey builds the cache key of one cell under this runner's settings.
-func (r *Runner) snapshotKey(p *platforms.Platform, b Benchmark, api hw.API, w Workload) cacheKey {
+// tierStats is Stats reshaped as one tier of a composed store.
+func (c *SnapshotCache) tierStats(name string) TierStats {
+	s := c.Stats()
+	return TierStats{Tier: name, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+}
+
+// snapshotKey builds the store key of one cell under this runner's settings.
+func (r *Runner) snapshotKey(p *platforms.Platform, b Benchmark, api hw.API, w Workload) SnapshotKey {
 	reps := r.Repetitions
 	if reps <= 0 {
 		reps = 1
@@ -121,15 +185,15 @@ func (r *Runner) snapshotKey(p *platforms.Platform, b Benchmark, api hw.API, w W
 	if warmup < 0 {
 		warmup = 0
 	}
-	return cacheKey{
-		platform:    p.ID,
-		fingerprint: p.Profile.ExecutionFingerprint(),
-		benchmark:   b.Name(),
-		workload:    w.Label,
-		api:         api,
-		seed:        r.Seed,
-		reps:        reps,
-		warmup:      warmup,
-		validate:    r.Validate,
+	return SnapshotKey{
+		Platform:    p.ID,
+		Fingerprint: p.Profile.ExecutionFingerprint(),
+		Benchmark:   b.Name(),
+		Workload:    w.Label,
+		API:         api,
+		Seed:        r.Seed,
+		Reps:        reps,
+		Warmup:      warmup,
+		Validate:    r.Validate,
 	}
 }

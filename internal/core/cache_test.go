@@ -25,7 +25,7 @@ func (keyBench) Workloads(class hw.Class) []Workload {
 }
 
 // testKey builds a baseline cache key for key-distinctness tests.
-func testKey(t *testing.T) (cacheKey, *platforms.Platform, Benchmark) {
+func testKey(t *testing.T) (SnapshotKey, *platforms.Platform, Benchmark) {
 	t.Helper()
 	p, err := platforms.ByID(platforms.IDGTX1050Ti)
 	if err != nil {
@@ -44,8 +44,8 @@ func testKey(t *testing.T) (cacheKey, *platforms.Platform, Benchmark) {
 func TestSnapshotKeyDistinguishesCells(t *testing.T) {
 	base, p, b := testKey(t)
 
-	variants := map[string]cacheKey{}
-	add := func(name string, k cacheKey) {
+	variants := map[string]SnapshotKey{}
+	add := func(name string, k SnapshotKey) {
 		if k == base {
 			t.Errorf("%s: key did not change", name)
 		}
@@ -91,18 +91,18 @@ func TestSnapshotKeyDistinguishesCells(t *testing.T) {
 // TestSnapshotCacheLRU pins the bound and the eviction/stat accounting.
 func TestSnapshotCacheLRU(t *testing.T) {
 	c := NewSnapshotCache(2)
-	key := func(i int) cacheKey { return cacheKey{benchmark: fmt.Sprintf("b%d", i)} }
+	key := func(i int) SnapshotKey { return SnapshotKey{Benchmark: fmt.Sprintf("b%d", i)} }
 
-	c.put(key(1), &Snapshot{})
-	c.put(key(2), &Snapshot{})
-	if _, ok := c.get(key(1)); !ok {
+	c.Put(key(1), &Snapshot{})
+	c.Put(key(2), &Snapshot{})
+	if _, ok := c.Get(key(1)); !ok {
 		t.Fatal("key 1 evicted below capacity")
 	}
-	c.put(key(3), &Snapshot{}) // evicts key 2 (least recently used after the get above)
-	if _, ok := c.get(key(2)); ok {
+	c.Put(key(3), &Snapshot{}) // evicts key 2 (least recently used after the get above)
+	if _, ok := c.Get(key(2)); ok {
 		t.Fatal("key 2 survived past the capacity bound")
 	}
-	if _, ok := c.get(key(1)); !ok {
+	if _, ok := c.Get(key(1)); !ok {
 		t.Fatal("recently used key 1 was evicted instead of key 2")
 	}
 	st := c.Stats()
@@ -125,9 +125,9 @@ func TestSnapshotCacheConcurrency(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
-				k := cacheKey{benchmark: fmt.Sprintf("b%d", (g+i)%16)}
-				if _, ok := c.get(k); !ok {
-					c.put(k, &Snapshot{})
+				k := SnapshotKey{Benchmark: fmt.Sprintf("b%d", (g+i)%16)}
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, &Snapshot{})
 				}
 				if i%10 == 0 {
 					_ = c.Stats()

@@ -66,8 +66,10 @@ type Runner struct {
 	// analytically instead of re-executing workgroups. Results are
 	// bit-identical either way. nil preserves the plain execution path.
 	// Snapshots are only recorded from clean first attempts: a faulted or
-	// retry-recovered execution is never cached.
-	Cache *SnapshotCache
+	// retry-recovered execution is never stored. Any SnapshotStore works here:
+	// the in-memory SnapshotCache, a persistent DiskStore, or a TieredStore
+	// composing both.
+	Cache SnapshotStore
 
 	// Context, when non-nil, bounds the whole run: cancelling it stops the
 	// suite scheduler from launching new cells and fails the next execution
@@ -139,10 +141,10 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 	}
 	ctx := r.baseContext()
 	record := r.Cache != nil
-	var key cacheKey
+	var key SnapshotKey
 	if record {
 		key = r.snapshotKey(p, b, api, w)
-		if snap, ok := r.Cache.get(key); ok {
+		if snap, ok := r.Cache.Get(key); ok {
 			// Analytic replay re-values an already-executed trace; fault
 			// injection models execution and never applies here.
 			return snap.Replay(p)
@@ -170,7 +172,7 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 			// Cache only clean first attempts: a recovered cell re-executes on
 			// the next run instead of risking a snapshot tainted by the fault.
 			if record && attempt == 0 && (plan == nil || !plan.Fired()) {
-				r.Cache.put(key, snap)
+				r.Cache.Put(key, snap)
 			}
 			return res, nil
 		}

@@ -9,9 +9,15 @@
 // Invalidation rules: a snapshot is valid only for platforms whose
 // hw.Profile.ExecutionFingerprint matches the one it was recorded under. Any
 // change to internal/kernels or to a benchmark's workloads invalidates
-// snapshots (the cache is in-process, so that simply means "do not persist
-// snapshots across builds"); changes to DriverProfile knob values or other
-// timing-only profile fields never do — replay revalues them.
+// snapshots. For the in-memory cache that is automatic (it dies with the
+// process); for the persistent DiskStore it is enforced by folding the
+// build's code-version fingerprint (internal/codeversion, a digest over the
+// kernel and workload sources embedded at build time) into every entry's
+// content address, so entries written by a build with different
+// execution-relevant code are never even opened. Changes to DriverProfile
+// knob values or other timing-only profile fields never invalidate — replay
+// revalues them — which is why those sources are deliberately excluded from
+// the code-version fingerprint.
 package core
 
 import (

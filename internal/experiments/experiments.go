@@ -36,14 +36,16 @@ type Options struct {
 	DispatchParallelism int
 	// Seed for input generation.
 	Seed int64
-	// Cache, when non-nil, is the shared snapshot cache: cells already
-	// executed (by any experiment using the same cache) are replayed
+	// Cache, when non-nil, is the shared snapshot store: cells already
+	// executed (by any experiment using the same store) are replayed
 	// analytically instead of re-executed. Output is byte-identical with or
-	// without it; `-run all` shares one cache across experiments so figures
+	// without it; `-run all` shares one store across experiments so figures
 	// that overlap in (platform, benchmark, workload, API) cells execute each
 	// cell once, and the calibration sweep scores every candidate profile by
-	// replaying the single execution of its platform's suite.
-	Cache *core.SnapshotCache
+	// replaying the single execution of its platform's suite. With a
+	// persistent tier (core.TieredStore over a core.DiskStore) cells executed
+	// by earlier processes replay too, making warm runs pure replay.
+	Cache core.SnapshotStore
 	// Context, when non-nil, bounds the run: cancellation stops suite
 	// scheduling and surfaces as the experiment's error.
 	Context context.Context

@@ -1,0 +1,351 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"vcomputebench/internal/kernels"
+)
+
+// This file is the versioned binary codec for Trace — the piece that makes
+// the execute/replay seam serializable, so a recorded trace can outlive the
+// process inside the persistent snapshot store. Kernel programs are encoded
+// by their stable registry identity (Program.Name) and re-bound from the
+// kernels registry at decode time: a program that no longer exists, or a
+// stream written by a different codec version, fails decoding loudly — the
+// store turns that into a cache miss and re-executes.
+//
+// TraceCodecVersion must be bumped whenever the wire layout changes:
+// TraceEvent/Reading/Cost fields, the Knob set, or the kernels.Counters
+// field list. As a second line of defence the stream self-describes its knob
+// and counter-field counts, so a forgotten bump still fails decoding instead
+// of silently misreading; and as the first line, the snapshot store keys
+// entries by the code-version fingerprint over these packages, so stale
+// streams are normally never even opened.
+
+// TraceCodecVersion is the current wire-format version of EncodeTrace.
+const TraceCodecVersion = 1
+
+// traceMagic guards against feeding arbitrary files to the decoder.
+var traceMagic = [4]byte{'V', 'C', 'T', 'R'}
+
+// counterFields is the number of float64 fields of kernels.Counters the codec
+// writes, in declaration order. Keep in sync with the struct (the codec test
+// cross-checks it by reflection).
+const counterFields = 13
+
+// appendCounters writes the Counters fields in declaration order.
+func appendCounters(b []byte, c *kernels.Counters) []byte {
+	for _, v := range [counterFields]float64{
+		c.Invocations, c.Workgroups, c.ALUOps,
+		c.GlobalLoads, c.GlobalStores, c.GlobalLoadBytes, c.GlobalStoreBytes,
+		c.LocalOps, c.LocalBytes, c.SharedBytesPerGroup, c.Barriers,
+		c.SampledUsefulBytes, c.SampledTransactionBytes,
+	} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// readCounters reads what appendCounters wrote. SampleScale is derived state
+// the dispatch engine folds into the extensive counters before recording, so
+// it is intentionally not part of the wire format.
+func (d *traceReader) readCounters(c *kernels.Counters) {
+	var v [counterFields]float64
+	for i := range v {
+		v[i] = d.f64()
+	}
+	c.Invocations, c.Workgroups, c.ALUOps = v[0], v[1], v[2]
+	c.GlobalLoads, c.GlobalStores, c.GlobalLoadBytes, c.GlobalStoreBytes = v[3], v[4], v[5], v[6]
+	c.LocalOps, c.LocalBytes, c.SharedBytesPerGroup, c.Barriers = v[7], v[8], v[9], v[10]
+	c.SampledUsefulBytes, c.SampledTransactionBytes = v[11], v[12]
+}
+
+// EncodeTrace serialises a trace. Every EvKernel event must carry a program
+// with a non-empty registry name; anything else cannot be re-bound at decode
+// time and is rejected here, before bytes ever reach a store.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	if t == nil {
+		return nil, fmt.Errorf("hw: encode of nil trace")
+	}
+	b := append([]byte(nil), traceMagic[:]...)
+	b = binary.AppendUvarint(b, TraceCodecVersion)
+	b = appendString(b, string(t.API))
+	b = binary.AppendUvarint(b, uint64(knobCount))
+	b = binary.AppendUvarint(b, counterFields)
+	b = binary.AppendUvarint(b, uint64(len(t.Events)))
+	for i := range t.Events {
+		ev := &t.Events[i]
+		b = append(b, byte(ev.Kind), ev.Queue)
+		b = binary.AppendVarint(b, int64(ev.Ref))
+		b = binary.AppendVarint(b, ev.Bytes)
+		if ev.Kind == EvKernel {
+			if ev.Prog == nil || ev.Prog.Name == "" {
+				return nil, fmt.Errorf("hw: event %d: kernel event without a registry-named program", i)
+			}
+			b = appendString(b, ev.Prog.Name)
+			b = appendCounters(b, &ev.Counters)
+		}
+		b = binary.AppendVarint(b, int64(ev.Cost.Fixed))
+		for _, n := range ev.Cost.Counts {
+			b = binary.AppendVarint(b, int64(n))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(t.Readings)))
+	for i := range t.Readings {
+		r := &t.Readings[i]
+		b = append(b, byte(r.Kind))
+		b = binary.AppendVarint(b, int64(r.A))
+		b = binary.AppendVarint(b, int64(r.B))
+		b = binary.AppendUvarint(b, uint64(len(r.Refs)))
+		for _, ref := range r.Refs {
+			b = binary.AppendVarint(b, int64(ref))
+		}
+		b = binary.AppendVarint(b, int64(r.Value))
+	}
+	return b, nil
+}
+
+// DecodeTrace deserialises a trace, re-binding kernel programs by name from
+// the registry (kernels.Default when reg is nil). Corrupt, truncated or
+// version-mismatched input returns an error — never a panic and never a
+// half-decoded trace — so stores can degrade any failure to a miss. Every
+// event and reading reference is bounds-checked against the decoded event
+// count, keeping a hostile or bit-rotted stream unable to crash Replay.
+func DecodeTrace(data []byte, reg *kernels.Registry) (*Trace, error) {
+	if reg == nil {
+		reg = kernels.Default
+	}
+	d := &traceReader{data: data}
+	var magic [4]byte
+	copy(magic[:], d.bytes(4))
+	if d.err == nil && magic != traceMagic {
+		return nil, fmt.Errorf("hw: trace stream has wrong magic %q", magic)
+	}
+	if v := d.uvarint(); d.err == nil && v != TraceCodecVersion {
+		return nil, fmt.Errorf("hw: trace codec version %d, this build reads %d", v, TraceCodecVersion)
+	}
+	api := API(d.str())
+	if kc := d.uvarint(); d.err == nil && kc != uint64(knobCount) {
+		return nil, fmt.Errorf("hw: trace recorded with %d driver knobs, this build has %d", kc, knobCount)
+	}
+	if cf := d.uvarint(); d.err == nil && cf != counterFields {
+		return nil, fmt.Errorf("hw: trace recorded with %d counter fields, this build has %d", cf, counterFields)
+	}
+	nEvents := d.length("events")
+	events := make([]TraceEvent, 0, nEvents)
+	for i := 0; i < nEvents && d.err == nil; i++ {
+		var ev TraceEvent
+		ev.Kind = EventKind(d.u8())
+		ev.Queue = d.u8()
+		ev.Ref = d.i32()
+		ev.Bytes = d.varint()
+		if d.err == nil {
+			if ev.Kind > EvMark {
+				return nil, fmt.Errorf("hw: event %d has unknown kind %d", i, ev.Kind)
+			}
+			if ev.Queue >= maxQueueSlots {
+				return nil, fmt.Errorf("hw: event %d uses queue %d beyond the %d-slot bound", i, ev.Queue, maxQueueSlots)
+			}
+		}
+		if ev.Kind == EvKernel && d.err == nil {
+			name := d.str()
+			if d.err == nil {
+				prog, err := reg.Lookup(name)
+				if err != nil {
+					return nil, fmt.Errorf("hw: event %d: %w (the program registry no longer has this kernel; the trace is stale)", i, err)
+				}
+				ev.Prog = prog
+			}
+			d.readCounters(&ev.Counters)
+		}
+		ev.Cost.Fixed = time.Duration(d.varint())
+		for k := range ev.Cost.Counts {
+			ev.Cost.Counts[k] = d.i32()
+		}
+		if d.err == nil {
+			if ev.Kind == EvWait && (ev.Ref < -1 || int(ev.Ref) >= nEvents) {
+				return nil, fmt.Errorf("hw: wait event %d references event %d of %d", i, ev.Ref, nEvents)
+			}
+			events = append(events, ev)
+		}
+	}
+	nReadings := d.length("readings")
+	readings := make([]Reading, 0, nReadings)
+	for i := 0; i < nReadings && d.err == nil; i++ {
+		var r Reading
+		r.Kind = ReadingKind(d.u8())
+		r.A = d.i32()
+		r.B = d.i32()
+		nRefs := d.length("reading refs")
+		if nRefs > 0 {
+			r.Refs = make([]int32, 0, nRefs)
+			for j := 0; j < nRefs && d.err == nil; j++ {
+				r.Refs = append(r.Refs, d.i32())
+			}
+		}
+		r.Value = time.Duration(d.varint())
+		if d.err != nil {
+			break
+		}
+		if r.Kind > ReadEndDiff {
+			return nil, fmt.Errorf("hw: reading %d has unknown kind %d", i, r.Kind)
+		}
+		if err := validateReadingRefs(&r, nEvents); err != nil {
+			return nil, fmt.Errorf("hw: reading %d: %w", i, err)
+		}
+		readings = append(readings, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("hw: %d trailing bytes after trace stream", len(data)-d.off)
+	}
+	return &Trace{API: api, Events: events, Readings: readings}, nil
+}
+
+// validateReadingRefs bounds-checks a reading's event references so Replay
+// cannot index out of range on a decoded trace. ReadEndDiff allows -1 (time
+// zero, an empty queue at record time); the other kinds require real events.
+func validateReadingRefs(r *Reading, nEvents int) error {
+	inRange := func(ref int32, allowNeg bool) bool {
+		if ref == -1 && allowNeg {
+			return true
+		}
+		return ref >= 0 && int(ref) < nEvents
+	}
+	switch r.Kind {
+	case ReadHostMark:
+		if !inRange(r.A, false) {
+			return fmt.Errorf("host mark references event %d of %d", r.A, nEvents)
+		}
+	case ReadMarkDiff:
+		if !inRange(r.A, false) || !inRange(r.B, false) {
+			return fmt.Errorf("mark diff references events %d,%d of %d", r.A, r.B, nEvents)
+		}
+	case ReadEndDiff:
+		if !inRange(r.A, true) || !inRange(r.B, true) {
+			return fmt.Errorf("end diff references events %d,%d of %d", r.A, r.B, nEvents)
+		}
+	case ReadSpanSum:
+		for _, ref := range r.Refs {
+			if !inRange(ref, false) {
+				return fmt.Errorf("span sum references event %d of %d", ref, nEvents)
+			}
+		}
+	}
+	return nil
+}
+
+// appendString writes a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// traceReader is a sticky-error cursor over an encoded stream; after any
+// failure every subsequent read is a no-op, and the caller checks err once.
+type traceReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *traceReader) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("hw: "+format, args...)
+	}
+}
+
+func (d *traceReader) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.data) {
+		d.fail("truncated stream: need %d bytes at offset %d of %d", n, d.off, len(d.data))
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *traceReader) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *traceReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *traceReader) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// str reads a uvarint-length-prefixed string.
+func (d *traceReader) str() string {
+	n := d.length("string")
+	b := d.bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *traceReader) i32() int32 {
+	v := d.varint()
+	if d.err == nil && (v < math.MinInt32 || v > math.MaxInt32) {
+		d.fail("value %d overflows int32", v)
+		return 0
+	}
+	return int32(v)
+}
+
+// length reads a collection size and sanity-bounds it so a corrupt stream
+// cannot trigger a multi-gigabyte allocation before the truncation check.
+func (d *traceReader) length(what string) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	// Even the largest recorded traces are a few million events; anything
+	// bigger than the remaining bytes could possibly encode is corruption.
+	if v > uint64(len(d.data)-d.off) {
+		d.fail("%s count %d exceeds the %d remaining bytes", what, v, len(d.data)-d.off)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *traceReader) f64() float64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,12 @@
+package nw
+
+import "embed"
+
+// Sources embeds this package's Go files so internal/codeversion can compute
+// the code-version fingerprint the persistent snapshot store keys entries by:
+// any change to execution-relevant sources yields a new fingerprint, and
+// entries recorded under an older one degrade to misses (and are reclaimable
+// with `vcbench -store-gc`). Test files are excluded from the hash.
+//
+//go:embed *.go
+var Sources embed.FS
