@@ -2,15 +2,21 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check check-warm calibrate calibrate-sweep clean
+.PHONY: all build vet test lint race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check check-warm calibrate calibrate-sweep clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: the standard `go vet` passes plus the repo's own
+# analyzers (embedsync, nondeterminism, faultwrap, countersync — see
+# internal/lint) through one driver. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/vcbenchlint ./...
 
 test:
 	$(GO) test ./...

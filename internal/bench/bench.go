@@ -98,6 +98,7 @@ func SetupCUDA(host *sim.Host, dev *hw.Device) (*CUDAEnv, error) {
 
 // RandomF32 returns n pseudo-random floats in [lo, hi) from the given seed.
 func RandomF32(seed int64, n int, lo, hi float32) []float32 {
+	//lint:allow(the seed is deterministic workload input; every caller passes a fixed per-workload constant)
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]float32, n)
 	span := hi - lo
@@ -119,6 +120,7 @@ func RandomI32(seed int64, n int, lo, hi int32) []int32 {
 		}
 		return out
 	}
+	//lint:allow(the seed is deterministic workload input; every caller passes a fixed per-workload constant)
 	rng := rand.New(rand.NewSource(seed))
 	for i := range out {
 		out[i] = lo + int32(rng.Int63n(span))

@@ -228,9 +228,11 @@ func (s *Snapshot) Replay(p *platforms.Platform) (*Result, error) {
 		KernelStats: kernelStats,
 		TotalStats:  totalStats,
 	}
+	//lint:allow(SetExtra inserts into a map keyed by name; iteration order cannot reach output)
 	for name, v := range s.extras {
 		res.SetExtra(name, v)
 	}
+	//lint:allow(SetExtraThroughput inserts into a map keyed by name; iteration order cannot reach output)
 	for name, bytes := range s.throughputBytes {
 		res.SetExtraThroughput(name, bytes, kernelTime)
 	}

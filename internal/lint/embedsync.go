@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"vcomputebench/internal/lint/analysis"
+)
+
+// EmbedSync enforces the code-version fingerprint contract of the persistent
+// snapshot store (internal/codeversion): every package whose behaviour can
+// change what a measurement cell executes must (a) embed its own sources via
+// a `//go:embed *.go` variable in sources.go and (b) be registered in the
+// codeversion sets list under its exact module-relative path — otherwise a
+// source change there would not rotate the fingerprint and stale disk
+// snapshots would decode as valid. Symmetrically, timing-only packages must
+// NOT be registered: their knob values are revalued on replay, and hashing
+// them would cold the store on every recalibration.
+func EmbedSync(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "embedsync",
+		Doc:  "execution-relevant packages embed their sources and are registered in the codeversion fingerprint; timing-only packages are not",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		rel := pass.World.Rel(pass.Pkg)
+		if matchPath(cfg.EmbedPackages, rel) && !matchPath(cfg.EmbedExempt, rel) {
+			checkEmbedVar(pass)
+		}
+		if rel == cfg.CodeVersionPath {
+			checkRegistrations(pass, cfg)
+		}
+		return nil
+	}
+	return a
+}
+
+// checkEmbedVar requires a sources.go declaring an exported variable with a
+// `//go:embed *.go` directive, so the package hashes its complete source into
+// the fingerprint (new files included — a narrower pattern would rot).
+func checkEmbedVar(pass *analysis.Pass) {
+	pkg := pass.Pkg
+	var sourcesFile *ast.File
+	for i, name := range pkg.FileNames {
+		if name == "sources.go" {
+			sourcesFile = pkg.Files[i]
+		}
+	}
+	if sourcesFile == nil {
+		pass.Reportf(pkg.Files[0].Package,
+			"package %s is execution-relevant but has no sources.go; add one with a `//go:embed *.go` variable and register it in %s",
+			pass.World.Rel(pkg), "internal/codeversion")
+		return
+	}
+	if name, ok := embedAllGoVar(sourcesFile); !ok {
+		pass.Reportf(sourcesFile.Package,
+			"sources.go does not declare an exported variable with a `//go:embed *.go` directive; the codeversion fingerprint would miss this package's sources")
+	} else if name != "Sources" {
+		pass.Reportf(sourcesFile.Package,
+			"embedded source variable is named %s; the codeversion registry expects Sources", name)
+	}
+}
+
+// embedAllGoVar finds an exported var whose doc carries `//go:embed` with the
+// pattern *.go, returning its name.
+func embedAllGoVar(f *ast.File) (string, bool) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR || gd.Doc == nil {
+			continue
+		}
+		embedsAll := false
+		for _, c := range gd.Doc.List {
+			rest, ok := strings.CutPrefix(c.Text, "//go:embed")
+			if !ok {
+				continue
+			}
+			for _, pat := range strings.Fields(rest) {
+				if pat == "*.go" {
+					embedsAll = true
+				}
+			}
+		}
+		if !embedsAll {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) == 0 {
+				continue
+			}
+			name := vs.Names[0].Name
+			return name, ast.IsExported(name)
+		}
+	}
+	return "", false
+}
+
+// checkRegistrations audits the codeversion sets list: every expected package
+// present under its true path, nothing forbidden, nothing unknown.
+func checkRegistrations(pass *analysis.Pass, cfg Config) {
+	pkg := pass.Pkg
+	setsLit, setsFile := findSetsLiteral(pkg, cfg.SetsVar)
+	if setsLit == nil {
+		pass.Reportf(pkg.Files[0].Package, "no composite-literal var %q found; cannot audit fingerprint registrations", cfg.SetsVar)
+		return
+	}
+	imports := fileImports(setsFile)
+	registered := make(map[string]token.Pos)
+	for _, elt := range setsLit.Elts {
+		entry, ok := elt.(*ast.CompositeLit)
+		if !ok || len(entry.Elts) != 2 {
+			pass.Reportf(elt.Pos(), "%s entry is not a {prefix, pkg.Sources} pair", cfg.SetsVar)
+			continue
+		}
+		prefixLit, ok := entry.Elts[0].(*ast.BasicLit)
+		if !ok {
+			pass.Reportf(entry.Pos(), "%s entry prefix is not a string literal", cfg.SetsVar)
+			continue
+		}
+		prefix := strings.Trim(prefixLit.Value, `"`)
+		sel, ok := entry.Elts[1].(*ast.SelectorExpr)
+		if !ok {
+			pass.Reportf(entry.Pos(), "%s entry %q does not reference a package's Sources variable", cfg.SetsVar, prefix)
+			continue
+		}
+		selPkg, _ := sel.X.(*ast.Ident)
+		if selPkg == nil {
+			pass.Reportf(entry.Pos(), "%s entry %q does not reference a package's Sources variable", cfg.SetsVar, prefix)
+			continue
+		}
+		importPath, ok := imports[selPkg.Name]
+		if !ok {
+			pass.Reportf(entry.Pos(), "cannot resolve package %s of entry %q to an import", selPkg.Name, prefix)
+			continue
+		}
+		relPath := importPath
+		if pass.World.ModulePath != "" {
+			relPath = strings.TrimPrefix(importPath, pass.World.ModulePath+"/")
+		}
+		if relPath != prefix {
+			pass.Reportf(entry.Pos(),
+				"entry prefix %q does not match the registered package %s; prefixes must be the module-relative path or identical file names in different packages can alias in the digest",
+				prefix, relPath)
+		}
+		registered[relPath] = entry.Pos()
+	}
+
+	var missing []string
+	for _, p := range pass.World.Packages {
+		rel := pass.World.Rel(p)
+		if matchPath(cfg.EmbedPackages, rel) && !matchPath(cfg.EmbedExempt, rel) {
+			if _, ok := registered[rel]; !ok {
+				missing = append(missing, rel)
+			}
+		}
+	}
+	sort.Strings(missing)
+	for _, rel := range missing {
+		pass.Reportf(setsLit.Pos(),
+			"execution-relevant package %s is not registered in %s; its source changes would not rotate the fingerprint and stale snapshots would replay as valid",
+			rel, cfg.SetsVar)
+	}
+	var extra []string
+	for rel := range registered {
+		if !matchPath(cfg.EmbedPackages, rel) || matchPath(cfg.EmbedExempt, rel) {
+			extra = append(extra, rel)
+		}
+	}
+	sort.Strings(extra)
+	for _, rel := range extra {
+		if matchPath(cfg.EmbedForbidden, rel) {
+			pass.Reportf(registered[rel],
+				"timing-only package %s must not be in the fingerprint: replay revalues its knobs, and registering it would cold the snapshot store on every recalibration",
+				rel)
+		} else {
+			pass.Reportf(registered[rel],
+				"registered package %s is not in the lint embed contract; add it to lint.DefaultConfig EmbedPackages (execution-relevant) or remove the registration (timing-only)",
+				rel)
+		}
+	}
+}
+
+// findSetsLiteral locates the registration list variable and its file.
+func findSetsLiteral(pkg *analysis.Package, name string) (*ast.CompositeLit, *ast.File) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name == name && i < len(vs.Values) {
+						if lit, ok := vs.Values[i].(*ast.CompositeLit); ok {
+							return lit, f
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// fileImports maps local import names to import paths for one file.
+func fileImports(f *ast.File) map[string]string {
+	out := make(map[string]string)
+	if f == nil {
+		return out
+	}
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		name := p[strings.LastIndex(p, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		out[name] = p
+	}
+	return out
+}

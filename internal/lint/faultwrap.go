@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"vcomputebench/internal/lint/analysis"
+)
+
+// FaultWrap guards the Transient/Permanent retry taxonomy across API-layer
+// error translation. Faults are injected (and real device errors born) at the
+// hw.Device ExecuteKernel/Occupy seam; the vulkan/cuda/opencl front ends
+// translate those errors into their own sentinel vocabulary. If a translation
+// formats the seam error with %v or %s instead of %w, errors.As can no longer
+// see the fault class, the core retry loop misclassifies a transient as
+// permanent, and the degradation policy silently changes. The analyzer tracks
+// error values assigned from ExecuteKernel/Occupy calls within each function
+// and requires every fmt.Errorf that mentions one to consume it with %w.
+func FaultWrap(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "faultwrap",
+		Doc:  "API layers must wrap ExecuteKernel/Occupy errors with %w so errors.As fault classification survives",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !matchPath(cfg.FaultWrapPackages, pass.World.Rel(pass.Pkg)) {
+			return nil
+		}
+		for _, f := range pass.Pkg.Files {
+			imports := fileImports(f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFaultWrapFunc(pass, fd, imports)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+// seamCalls are the hw.Device methods whose errors carry fault classes.
+var seamCalls = map[string]bool{"ExecuteKernel": true, "Occupy": true}
+
+func checkFaultWrapFunc(pass *analysis.Pass, fd *ast.FuncDecl, imports map[string]string) {
+	// Pass 1: names of error values born at the seam. By Go convention the
+	// error result is last in the assignment.
+	tainted := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !seamCalls[sel.Sel.Name] {
+			return true
+		}
+		if last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && last.Name != "_" {
+			tainted[last.Name] = true
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	// Pass 2: every fmt.Errorf mentioning a tainted error must give it %w.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Errorf" {
+			return true
+		}
+		if pkgIdent, ok := sel.X.(*ast.Ident); !ok || imports[pkgIdent.Name] != "fmt" {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return true // non-literal format: nothing to check statically
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs, ok := printfVerbs(format)
+		if !ok {
+			return true // explicit argument indexes etc.; stay silent rather than guess
+		}
+		for i, arg := range call.Args[1:] {
+			ident, ok := arg.(*ast.Ident)
+			if !ok || !tainted[ident.Name] {
+				continue
+			}
+			verb := byte(0)
+			if i < len(verbs) {
+				verb = verbs[i]
+			}
+			if verb != 'w' {
+				pass.Reportf(arg.Pos(),
+					"%s carries a fault class from the execute seam but is formatted with %%%c; use %%w so errors.As classification (transient vs permanent) survives the wrap",
+					ident.Name, printable(verb))
+			}
+		}
+		return true
+	})
+}
+
+func printable(verb byte) byte {
+	if verb == 0 {
+		return '?'
+	}
+	return verb
+}
+
+// printfVerbs maps each argument index to the verb that consumes it. A '*'
+// width or precision consumes an argument of its own (recorded as '*').
+// Returns ok=false on constructs it does not model (explicit indexes like
+// %[2]d), in which case the caller skips the check.
+func printfVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		for j := 0; j < 2; j++ { // width then precision
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+			if j == 0 && i < len(format) && format[i] == '.' {
+				i++
+			} else {
+				break
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '[' {
+			return nil, false
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs, true
+}

@@ -1,0 +1,137 @@
+// Package linttest is the fixture harness for the vcbenchlint analyzers: a
+// small analysistest-style runner over testdata trees. Each fixture directory
+// is loaded as its own miniature world (import paths relative to the fixture
+// root), the given analyzers run over it, and every diagnostic must be
+// announced by a `// want "regexp"` comment on the same source line — with
+// unmatched wants and unannounced diagnostics both failing the test. The
+// driver's //lint:allow suppression runs as in production, so fixtures also
+// exercise the escape hatch.
+package linttest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vcomputebench/internal/lint"
+	"vcomputebench/internal/lint/analysis"
+)
+
+// Load builds a fixture world from every package directory under root.
+func Load(t *testing.T, root string) *analysis.World {
+	t.Helper()
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		t.Fatalf("resolving fixture root %s: %v", root, err)
+	}
+	var dirs []string
+	err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(p, ".go") {
+			dirs = append(dirs, filepath.Dir(p))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking fixture root %s: %v", root, err)
+	}
+	sort.Strings(dirs)
+	pkgPath := func(dir string) string {
+		rel, err := filepath.Rel(abs, dir)
+		if err != nil || rel == "." {
+			return "fixture"
+		}
+		return filepath.ToSlash(rel)
+	}
+	world, err := lint.LoadDirs("", dedupe(dirs), pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixtures under %s: %v", root, err)
+	}
+	if len(world.Packages) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	return world
+}
+
+// Run loads the fixture tree, applies the analyzers, and checks every
+// diagnostic against the `// want` expectations.
+func Run(t *testing.T, root string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	world := Load(t, root)
+	diags, err := lint.Run(world, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range world.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range quotedRE.FindAllString(c.Text[idx:], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+							continue
+						}
+						wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+					}
+				}
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

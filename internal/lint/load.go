@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vcomputebench/internal/lint/analysis"
+)
+
+// This file is the offline package loader behind vcbenchlint. It deliberately
+// avoids both golang.org/x/tools/go/packages (the module has no dependencies
+// and must build without network access) and `go list -export` subprocesses:
+// every non-test file in the module is parsed, packages are type-checked in
+// import-topological order against each other, and any import from outside
+// the module (the standard library included) resolves to an empty placeholder
+// package. Type errors are collected, not fatal — the analyzers are written
+// to treat absent type info as "unknown". The result is best-effort types for
+// everything module-internal (which is where the invariants live) with zero
+// external dependencies, at the cost of not seeing stdlib types; the
+// analyzers compensate by resolving stdlib references syntactically through
+// each file's import table.
+
+// skipDirs are directory names never descended into while discovering
+// packages. testdata matters doubly here: the lint fixtures under it contain
+// intentional violations.
+var skipDirs = map[string]bool{
+	"testdata": true, ".git": true, ".github": true, "vendor": true,
+}
+
+// LoadModule loads every package of the Go module rooted at root (the
+// directory containing go.mod).
+func LoadModule(root string) (*analysis.World, error) {
+	modulePath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (skipDirs[name] || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirs = append(dirs, filepath.Dir(p))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	dirs = dedupe(dirs)
+	pkgPath := func(dir string) string {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil || rel == "." {
+			return modulePath
+		}
+		return modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return LoadDirs(modulePath, dirs, pkgPath)
+}
+
+// LoadDirs parses and type-checks the given package directories into a World.
+// pkgPath maps a directory to its import path; the fixture harness uses this
+// to build small synthetic worlds out of testdata trees.
+func LoadDirs(modulePath string, dirs []string, pkgPath func(dir string) string) (*analysis.World, error) {
+	fset := token.NewFileSet()
+	world := &analysis.World{ModulePath: modulePath}
+	byPath := make(map[string]*analysis.Package)
+	for _, dir := range dirs {
+		pkg, err := parseDir(fset, dir, pkgPath(dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no non-test Go files
+		}
+		world.Packages = append(world.Packages, pkg)
+		byPath[pkg.Path] = pkg
+	}
+	for _, pkg := range topoOrder(world.Packages, byPath) {
+		checkTypes(pkg, byPath)
+	}
+	return world, nil
+}
+
+// parseDir parses the non-test Go files of one directory.
+func parseDir(fset *token.FileSet, dir, importPath string) (*analysis.Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{Path: importPath, Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", filepath.Join(dir, name), err)
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.FileNames = append(pkg.FileNames, name)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// topoOrder sorts packages so every module-internal import precedes its
+// importer. The module graph is acyclic (the compiler enforces it), so plain
+// DFS post-order suffices.
+func topoOrder(pkgs []*analysis.Package, byPath map[string]*analysis.Package) []*analysis.Package {
+	var order []*analysis.Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *analysis.Package)
+	visit = func(p *analysis.Package) {
+		if state[p.Path] != 0 {
+			return
+		}
+		state[p.Path] = 1
+		for _, imp := range importPaths(p) {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return order
+}
+
+func importPaths(p *analysis.Package) []string {
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			out = append(out, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	return out
+}
+
+// worldImporter resolves module-internal imports to their checked packages
+// and everything else to empty placeholders.
+type worldImporter struct {
+	byPath map[string]*analysis.Package
+	fakes  map[string]*types.Package
+}
+
+func (w *worldImporter) Import(importPath string) (*types.Package, error) {
+	if p, ok := w.byPath[importPath]; ok && p.Types != nil {
+		return p.Types, nil
+	}
+	if f, ok := w.fakes[importPath]; ok {
+		return f, nil
+	}
+	f := types.NewPackage(importPath, path.Base(importPath))
+	f.MarkComplete()
+	w.fakes[importPath] = f
+	return f, nil
+}
+
+// checkTypes type-checks one package leniently: errors are collected, never
+// fatal, and the (possibly incomplete) result is still installed so importers
+// downstream see whatever resolved.
+func checkTypes(pkg *analysis.Package, byPath map[string]*analysis.Package) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: &worldImporter{byPath: byPath, fakes: make(map[string]*types.Package)},
+		Error:    func(error) {}, // lenient: placeholder imports guarantee errors
+	}
+	tpkg, _ := conf.Check(pkg.Path, pkg.Fset, pkg.Files, info)
+	pkg.Types = tpkg
+	pkg.Info = info
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (vcbenchlint must run inside the module)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+func dedupe(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || sorted[i-1] != s {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vcomputebench/internal/lint/analysis"
+)
+
+// NonDeterminism enforces the byte-identical-output guarantee at its sources.
+// In the strict (document-producing) packages it forbids the wall clock
+// (time.Now/Since), environment reads (os.Getenv/LookupEnv/Environ), every
+// math/rand package-level reference, and map iteration that is neither a pure
+// map-to-map copy nor a collect-keys-then-sort — any of which can make output
+// differ between runs or between -parallel schedules. In the seeded
+// (execution/workload) packages the same clock/env/global-rand rules apply,
+// and constructing even a local source via rand.New/rand.NewSource must carry
+// a //lint:allow(reason) acknowledging the seed is deterministic input, not
+// entropy.
+func NonDeterminism(cfg Config) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "nondeterminism",
+		Doc:  "no wall clock, environment, global rand, or unsorted map iteration in packages that promise byte-identical output",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		rel := pass.World.Rel(pass.Pkg)
+		strict := matchPath(cfg.StrictPackages, rel)
+		seeded := matchPath(cfg.SeededPackages, rel)
+		if !strict && !seeded {
+			return nil
+		}
+		for _, f := range pass.Pkg.Files {
+			checkNonDetFile(pass, f, strict)
+		}
+		if strict {
+			checkMapRanges(pass)
+		}
+		return nil
+	}
+	return a
+}
+
+// randConstructors build explicitly-seeded local sources; in seeded packages
+// they are legal but must be annotated.
+var randConstructors = map[string]bool{"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+// randGlobals are the package-level functions drawing from the process-global
+// (unseeded) source, across math/rand and math/rand/v2. Type and method
+// references (rand.Rand, rand.Source) are deliberately not listed.
+var randGlobals = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true, "Int63": true,
+	"Int63n": true, "Uint32": true, "Uint64": true, "Float32": true,
+	"Float64": true, "ExpFloat64": true, "NormFloat64": true, "Perm": true,
+	"Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+// checkNonDetFile flags forbidden selector calls, resolving package names
+// syntactically through the file's import table (stdlib packages have no type
+// information under the offline loader).
+func checkNonDetFile(pass *analysis.Pass, f *ast.File, strict bool) {
+	imports := fileImports(f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		// A local object with the same name shadows the import; types know.
+		if obj := pass.Pkg.Info.Uses[ident]; obj != nil {
+			if _, isPkg := obj.(*types.PkgName); !isPkg {
+				return true
+			}
+		}
+		switch imports[ident.Name] {
+		case "time":
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock and breaks byte-identical output; thread the traced clock (hw trace seam) or pass the timestamp in",
+					sel.Sel.Name)
+			}
+		case "os":
+			switch sel.Sel.Name {
+			case "Getenv", "LookupEnv", "Environ":
+				pass.Reportf(sel.Pos(),
+					"os.%s makes output depend on the process environment; plumb the value through explicit configuration instead",
+					sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !randConstructors[sel.Sel.Name] && !randGlobals[sel.Sel.Name] {
+				return true // a type or method-set reference, not a draw
+			}
+			if strict {
+				pass.Reportf(sel.Pos(),
+					"math/rand has no place in a byte-identical document path; derive values deterministically from inputs")
+			} else if randConstructors[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s in an execution package: confirm the seed is deterministic input with a //lint:allow(reason) annotation",
+					sel.Sel.Name)
+			} else {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the global rand source, which is unseeded and process-global; build a local rand.New(rand.NewSource(seed)) instead",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map iterations in strict packages unless the body is
+// an order-independent map copy or a collect-then-sort.
+func checkMapRanges(pass *analysis.Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(info, rs.X) {
+					return true
+				}
+				if isMapCopyBody(info, rs.Body) || isCollectThenSort(rs, fd) {
+					return true
+				}
+				pass.Reportf(rs.Pos(),
+					"map iteration order is randomized and can reach output; copy into a map, collect-and-sort the keys, or annotate an order-independent use with //lint:allow(reason)")
+				return true
+			})
+		}
+	}
+}
+
+// isMapType reports whether the expression has (best-effort) map type. The
+// offline loader resolves module-internal types fully; an unknown type is
+// treated as not-a-map rather than guessed.
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isMapCopyBody reports whether every statement of the body only writes map
+// entries or deletes them — re-keyed insertion is order-independent.
+func isMapCopyBody(info *types.Info, body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 {
+				return false
+			}
+			idx, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok || !isMapType(info, idx.X) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "delete" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isCollectThenSort reports whether the range body only appends to local
+// slices that are all sorted later in the same function — the canonical
+// sorted-key iteration pattern.
+func isCollectThenSort(rs *ast.RangeStmt, fd *ast.FuncDecl) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	targets := make(map[string]bool)
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		targets[lhs.Name] = true
+	}
+	for name := range targets {
+		if !sortedAfter(fd, rs, name) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortFuncs are the recognized sorting entry points (package selector form).
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Strings": true, "Ints": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether name is passed to a recognized sort call after
+// the range statement within the function.
+func sortedAfter(fd *ast.FuncDecl, rs *ast.RangeStmt, name string) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok || !sortFuncs[pkgIdent.Name][sel.Sel.Name] {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && arg.Name == name {
+			found = true
+		}
+		return true
+	})
+	return found
+}

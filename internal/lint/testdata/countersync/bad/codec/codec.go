@@ -1,0 +1,15 @@
+package codec
+
+import "kernels"
+
+const counterFields = 2 // want `counterFields is 2 but Counters has 3 wire fields`
+
+func appendCounters(dst []float64, c kernels.Counters) []float64 { // want `appendCounters field 0 is B, want A`
+	return append(dst, []float64{c.B, c.A, c.Max}...)
+}
+
+func readCounters(src []float64) (kernels.Counters, []float64) { // want `readCounters is missing field Max`
+	var c kernels.Counters
+	c.A, c.B = src[0], src[1]
+	return c, src[counterFields:]
+}

@@ -1,0 +1,24 @@
+package kernels
+
+// Counters matches the good fixture; the methods below are the defects.
+type Counters struct {
+	A       float64
+	B       float64
+	Max     float64
+	Derived float64
+}
+
+// Add forgets B and accumulates the derived field.
+func (c *Counters) Add(o Counters) { // want `Add does not accumulate B` `Add touches derived field Derived`
+	c.A += o.A
+	c.Derived += o.Derived
+	if o.Max > c.Max {
+		c.Max = o.Max
+	}
+}
+
+// Scale forgets A and extrapolates the per-group maximum.
+func (c *Counters) Scale(f float64) { // want `Scale multiplies intensive field Max` `Scale does not multiply A`
+	c.B *= f
+	c.Max *= f
+}

@@ -1,0 +1,15 @@
+package codec
+
+import "kernels"
+
+const counterFields = 3
+
+func appendCounters(dst []float64, c kernels.Counters) []float64 {
+	return append(dst, []float64{c.A, c.B, c.Max}...)
+}
+
+func readCounters(src []float64) (kernels.Counters, []float64) {
+	var c kernels.Counters
+	c.A, c.B, c.Max = src[0], src[1], src[2]
+	return c, src[counterFields:]
+}

@@ -1,0 +1,25 @@
+package kernels
+
+// Counters is the fixture wire struct: A and B are extensive, Max is an
+// intensive per-group maximum, Derived is recomputed before recording.
+type Counters struct {
+	A       float64
+	B       float64
+	Max     float64
+	Derived float64
+}
+
+// Add accumulates another dispatch's counters.
+func (c *Counters) Add(o Counters) {
+	c.A += o.A
+	c.B += o.B
+	if o.Max > c.Max {
+		c.Max = o.Max
+	}
+}
+
+// Scale extrapolates the sampled extensive counters.
+func (c *Counters) Scale(f float64) {
+	c.A *= f
+	c.B *= f
+}

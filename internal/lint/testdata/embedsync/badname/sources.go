@@ -1,0 +1,8 @@
+package badname // want `embedded source variable is named Embedded`
+
+import "embed"
+
+// Embedded uses a nonstandard name the codeversion registry will not find.
+//
+//go:embed *.go
+var Embedded embed.FS

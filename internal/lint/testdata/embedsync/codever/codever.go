@@ -1,0 +1,26 @@
+package codever
+
+import (
+	"badname"
+	"good"
+	"notinscope"
+	"prefixmismatch"
+	work "sub/work"
+	"timingonly"
+)
+
+type sourceSet struct {
+	prefix string
+	fs     any
+}
+
+var sets = []sourceSet{ // want `execution-relevant package missing is not registered`
+	{"good", good.Sources},
+	{"badname", badname.Embedded},
+	{"wrong/prefix", prefixmismatch.Sources}, // want `entry prefix "wrong/prefix" does not match the registered package prefixmismatch`
+	{"timingonly", timingonly.Sources},       // want `timing-only package timingonly must not be in the fingerprint`
+	{"notinscope", notinscope.Sources},       // want `registered package notinscope is not in the lint embed contract`
+	{"sub/work", work.Sources},
+}
+
+var _ = sets

@@ -1,0 +1,8 @@
+package good
+
+import "embed"
+
+// Sources embeds this package's Go sources into the fingerprint.
+//
+//go:embed *.go
+var Sources embed.FS

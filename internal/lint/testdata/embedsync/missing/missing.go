@@ -1,0 +1,4 @@
+package missing // want `package missing is execution-relevant but has no sources.go`
+
+// Kernel is stand-in execution-relevant behaviour.
+func Kernel() int { return 1 }

@@ -1,0 +1,5 @@
+package notinscope
+
+// Sources exists so a registration entry can reference it; this package is in
+// neither the embed contract nor the forbidden list.
+var Sources = struct{}{}

@@ -1,0 +1,8 @@
+package prefixmismatch
+
+import "embed"
+
+// Sources embeds this package's Go sources into the fingerprint.
+//
+//go:embed *.go
+var Sources embed.FS

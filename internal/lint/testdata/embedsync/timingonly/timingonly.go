@@ -1,0 +1,9 @@
+package timingonly
+
+// Knob is a stand-in timing-only calibration value: replay revalues it, so
+// this package must stay out of the fingerprint.
+var Knob = 1.5
+
+// Sources exists so a registration entry can reference it; registering it is
+// the violation.
+var Sources = struct{}{}

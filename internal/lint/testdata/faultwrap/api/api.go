@@ -1,0 +1,67 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeviceLost is the fixture front end's permanent-fault sentinel.
+var ErrDeviceLost = errors.New("device lost")
+
+type device struct{}
+
+func (device) ExecuteKernel(n int) (int, error) { return n, nil }
+func (device) Occupy(n int) error               { return nil }
+func (device) Other() error                     { return nil }
+
+// Bad drops the seam error's fault class behind %v.
+func Bad(d device) error {
+	_, err := d.ExecuteKernel(1)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrDeviceLost, err) // want `formatted with %v`
+	}
+	return nil
+}
+
+// BadString flattens the seam error to text.
+func BadString(d device) error {
+	_, err := d.ExecuteKernel(2)
+	if err != nil {
+		return fmt.Errorf("execute failed: %s", err) // want `formatted with %s`
+	}
+	return nil
+}
+
+// BadOccupy shows the Occupy seam is tracked too.
+func BadOccupy(d device) error {
+	if err := d.Occupy(1); err != nil {
+		return fmt.Errorf("occupy: %v", err) // want `formatted with %v`
+	}
+	return nil
+}
+
+// Good wraps both sentinel and seam error.
+func Good(d device) error {
+	_, err := d.ExecuteKernel(3)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrDeviceLost, err)
+	}
+	return nil
+}
+
+// GoodUntainted wraps an error that never touched the seam; %v is fine.
+func GoodUntainted(d device) error {
+	if err := d.Other(); err != nil {
+		return fmt.Errorf("other: %v", err)
+	}
+	return nil
+}
+
+// GoodWidth exercises the * width verb consuming its own argument.
+func GoodWidth(d device) error {
+	_, err := d.ExecuteKernel(4)
+	if err != nil {
+		return fmt.Errorf("%*d: %w", 3, 7, err)
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package seeded
+
+import "math/rand"
+
+// Annotated builds a local source from a fixed workload seed and says so.
+func Annotated(seed int64) float64 {
+	//lint:allow(the seed is a fixed workload constant in this fixture)
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Unannotated builds the same source without acknowledging the seed contract.
+func Unannotated(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // want `rand.New in an execution package` `rand.NewSource in an execution package`
+	return rng.Float64()
+}
+
+// Global draws from the process-global source.
+func Global() int {
+	return rand.Intn(10) // want `rand.Intn uses the global rand source`
+}

@@ -1,0 +1,67 @@
+package strict
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock in a document path.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock and breaks byte-identical output`
+}
+
+// Env makes output depend on the process environment.
+func Env() string {
+	return os.Getenv("HOME") // want `os.Getenv makes output depend on the process environment`
+}
+
+// Draw uses math/rand in a strict package.
+func Draw() int {
+	return rand.Int() // want `math/rand has no place in a byte-identical document path`
+}
+
+// BadMap accumulates floats in map order: the sum differs between schedules.
+func BadMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `map iteration order is randomized and can reach output`
+		total += v
+	}
+	return total
+}
+
+// OkCopy re-keys into another map; insertion order is irrelevant.
+func OkCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// OkSorted collects keys and sorts before any of them can reach output.
+func OkSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OkAllowed is order-independent and says so with the escape hatch.
+func OkAllowed(m map[string]bool) int {
+	n := 0
+	//lint:allow(counting entries is order-independent; no accumulation can reorder)
+	for range m {
+		n++
+	}
+	return n
+}
+
+// BadEmptyAllow shows that an allow without a reason does not suppress.
+func BadEmptyAllow() string {
+	//lint:allow()
+	return os.Getenv("PATH") // want `os.Getenv makes output depend on the process environment`
+}
