@@ -2,7 +2,7 @@ GO ?= go
 # bash for pipefail in the bench recipe (dash has no pipefail).
 SHELL := /bin/bash
 
-.PHONY: all build vet test lint race chaos bench bench-dispatch bench-suite bench-compare bench-tables results check check-warm calibrate calibrate-sweep clean
+.PHONY: all build vet test lint race chaos bench bench-dispatch bench-suite bench-serve bench-compare bench-tables results check check-warm calibrate calibrate-sweep clean
 
 all: build lint test
 
@@ -39,7 +39,7 @@ chaos:
 # cache (BENCH_suite.json). Each file's "baseline" section is the first
 # recorded reference and is preserved across runs; "current" is overwritten
 # every time, so the perf trajectory is reviewable in the diff.
-bench: bench-dispatch bench-suite
+bench: bench-dispatch bench-suite bench-serve
 
 bench-dispatch:
 	set -o pipefail; $(GO) test -run '^$$' -bench '^BenchmarkExecute' -benchmem ./internal/kernels \
@@ -54,6 +54,15 @@ bench-suite:
 	set -o pipefail; $(GO) test -run '^$$' -bench '^Benchmark(Sweep|RunAll)' -benchtime 1x -benchmem -timeout 30m . ./internal/calibrate \
 		| $(GO) run ./cmd/benchjson -update BENCH_suite.json
 
+# Serving hot paths end to end through the HTTP handler (BENCH_serve.json):
+# warm-store replay and the saturated 429 shed path. Beyond ns/op the entries
+# record p50/p99 request latency, replays/s, sheds/s and the shed rate in the
+# "extra" section — informational trend data; the gate below compares ns/op
+# and allocs/op.
+bench-serve:
+	set -o pipefail; $(GO) test -run '^$$' -bench '^BenchmarkServe' -benchmem ./internal/serve \
+		| $(GO) run ./cmd/benchjson -update BENCH_serve.json
+
 # Regression gate over the tracked perf files: fails when `current` exceeds
 # `baseline` beyond the tolerances. allocs/op is deterministic for the
 # single-dispatch microbenchmarks (exact); whole-suite allocation counts vary
@@ -61,6 +70,7 @@ bench-suite:
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare BENCH_dispatch.json -tol-ns 0.5 -tol-allocs 0
 	$(GO) run ./cmd/benchjson -compare BENCH_suite.json -tol-ns 0.5 -tol-allocs 0.1
+	$(GO) run ./cmd/benchjson -compare BENCH_serve.json -tol-ns 0.5 -tol-allocs 0.1
 
 # Regenerate every table and figure once.
 bench-tables:

@@ -3,7 +3,10 @@ package vcomputebench_test
 import (
 	"bytes"
 	"path/filepath"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"vcomputebench/internal/core"
 	"vcomputebench/internal/expected"
@@ -226,4 +229,122 @@ func (p plannerAttempt0) Plan(site faults.Site) *faults.Plan {
 		return nil
 	}
 	return &faults.Plan{Class: p.class, Dispatch: 0, Site: site}
+}
+
+// hangRecorder hangs attempt 0 of exactly one target cell and records every
+// attempt the planner is consulted for at that cell, so a test can prove how
+// many retries the deadline expiry consumed.
+type hangRecorder struct {
+	benchmark string
+	workload  string
+	api       hw.API
+
+	mu       sync.Mutex
+	attempts []int
+}
+
+func (h *hangRecorder) Plan(site faults.Site) *faults.Plan {
+	if site.Benchmark != h.benchmark || site.Workload != h.workload || site.API != string(h.api) {
+		return nil
+	}
+	h.mu.Lock()
+	h.attempts = append(h.attempts, site.Attempt)
+	h.mu.Unlock()
+	if site.Attempt != 0 {
+		return nil
+	}
+	return &faults.Plan{Class: faults.Hang, Dispatch: 0, Site: site}
+}
+
+// seen returns the recorded attempt ordinals, sorted (a parallel suite may
+// consult the planner from any worker).
+func (h *hangRecorder) seen() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := append([]int(nil), h.attempts...)
+	sort.Ints(out)
+	return out
+}
+
+// suiteDoc flattens a SuiteResult into a document in deterministic grid order
+// so runs can be compared byte for byte through the versioned JSON schema.
+func suiteDoc(t *testing.T, id string, s *core.SuiteResult, apis []hw.API) []byte {
+	t.Helper()
+	doc := &report.Document{ID: id, Title: id}
+	benches := make([]string, 0, len(s.Results))
+	for bench := range s.Results {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	for _, bench := range benches {
+		byWorkload := s.Results[bench]
+		workloads := make([]string, 0, len(byWorkload))
+		for wl := range byWorkload {
+			workloads = append(workloads, wl)
+		}
+		sort.Strings(workloads)
+		for _, wl := range workloads {
+			for _, api := range apis {
+				if res, ok := s.Lookup(bench, wl, api); ok {
+					doc.Results = append(doc.Results, res)
+				}
+			}
+		}
+	}
+	return encodeDoc(t, doc)
+}
+
+// TestChaosHangDeadlineConsumesOneRetry pins the -retries × -cell-timeout
+// interaction end to end: a hang that expires the per-attempt deadline must
+// consume exactly one retry — the planner is consulted for attempts {0, 1}
+// and nothing beyond — back off deterministically, and leave a suite
+// byte-identical to a fault-free run, serial and at parallelism 8 alike.
+func TestChaosHangDeadlineConsumesOneRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("blocks one cell for the full cell deadline; skipped with -short")
+	}
+	p, err := platforms.ByID(platforms.IDNexus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench, err := core.Get("vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	apis := []hw.API{hw.APIOpenCL, hw.APIVulkan}
+	target := bench.Workloads(p.Profile.Class)[0]
+
+	// The deadline must be far above the slowest clean cell even under -race
+	// (a clean expiry would break byte-identity) while bounding the wall time
+	// the single hung cell adds to the test.
+	const cellTimeout = 10 * time.Second
+
+	run := func(parallelism int, planner core.FaultPlanner) *core.SuiteResult {
+		t.Helper()
+		r := &core.Runner{
+			Repetitions: 1, Seed: 42, Parallelism: parallelism,
+			CellTimeout: cellTimeout, Retries: 1, RetryBackoff: 10 * time.Millisecond,
+			Faults: planner,
+		}
+		s, err := r.RunSuite(p, []core.Benchmark{bench}, apis)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if len(s.Failed) != 0 {
+			t.Fatalf("parallelism %d: %d cells failed, want full recovery: %+v", parallelism, len(s.Failed), s.Failed)
+		}
+		return s
+	}
+
+	want := suiteDoc(t, "chaos-hang", run(1, nil), apis)
+	for _, par := range []int{1, 8} {
+		rec := &hangRecorder{benchmark: bench.Name(), workload: target.Label, api: hw.APIVulkan}
+		got := suiteDoc(t, "chaos-hang", run(par, rec), apis)
+		if attempts := rec.seen(); len(attempts) != 2 || attempts[0] != 0 || attempts[1] != 1 {
+			t.Fatalf("parallelism %d: hung cell saw attempts %v, want exactly [0 1] (one retry consumed)", par, attempts)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("parallelism %d: hang-recovered suite differs from fault-free run:\n%s\nvs\n%s", par, got, want)
+		}
+	}
 }

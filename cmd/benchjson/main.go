@@ -37,6 +37,10 @@ type Entry struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. the serve benchmarks'
+	// p50-ns/op, p99-ns/op, replays/s, shed-rate). Recorded for trend
+	// visibility; -compare gates only on the standard dimensions above.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // File is the on-disk schema of BENCH_dispatch.json.
@@ -189,13 +193,18 @@ func parseBench(src *os.File) (map[string]Entry, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				e.NsPerOp, seen = v, true
 			case "B/op":
 				e.BytesPerOp = v
 			case "allocs/op":
 				e.AllocsPerOp = v
+			default:
+				if e.Extra == nil {
+					e.Extra = map[string]float64{}
+				}
+				e.Extra[unit] = v
 			}
 		}
 		if seen {
@@ -213,6 +222,8 @@ func regenHint(path string) string {
 		return "make bench-dispatch"
 	case "BENCH_suite.json":
 		return "make bench-suite"
+	case "BENCH_serve.json":
+		return "make bench-serve"
 	default:
 		return "make bench"
 	}

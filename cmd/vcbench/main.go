@@ -73,12 +73,21 @@ func main() {
 		codeVer     = flag.Bool("code-version", false, "print the build's code-version fingerprint (the hash persistent store entries are keyed by) and exit")
 		cacheStats  = flag.Bool("cache-stats", false, "print snapshot-store hit/miss statistics, per tier, to stderr when done")
 		faultSpec   = flag.String("faults", "", "deterministic fault-injection spec: 'class:rate[@k=v,...][;...]' with classes driver-fault, hang, device-lost, oom and filters platform=, benchmark=, api= (lowercase, e.g. 'driver-fault:0.05;oom:0.01@api=vulkan')")
-		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault schedule (0 = use -seed); the same seed and spec give a bit-identical schedule at any -parallel")
+		faultSeed   = flag.Int64("fault-seed", 0, "seed for the fault schedule (defaults to the -seed value when the flag is not given; an explicit -fault-seed 0 is honoured as seed 0); the same seed and spec give a bit-identical schedule at any -parallel")
 		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell deadline, 0 = none (expiry is a transient failure, eligible for -retries)")
 		retries     = flag.Int("retries", 0, "retry budget per cell for transient failures (deterministic exponential backoff)")
 		retryBack   = flag.Duration("retry-backoff", core.DefaultRetryBackoff, "base delay of the retry backoff (doubles per attempt)")
 		keepGoing   = flag.Bool("keep-going", false, "degrade failed cells into structured report entries instead of aborting; a degraded-but-complete run exits 3")
 	)
+	// `vcbench serve ...` is a subcommand with its own FlagSet (serving
+	// shares the runner knobs but none of the experiment selection), so it is
+	// dispatched before the batch-mode flag.Parse sees the arguments.
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := serveCmd(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	flag.Parse()
 
 	if *codeVer {
@@ -104,10 +113,15 @@ func main() {
 		KeepGoing:           *keepGoing,
 	}
 	if *faultSpec != "" {
-		fseed := *faultSeed
-		if fseed == 0 {
-			fseed = *seed
-		}
+		// The fault seed defaults to -seed, detected by flag presence rather
+		// than a 0 sentinel: 0 is a legitimate schedule seed, and a sentinel
+		// would make it unselectable.
+		fseed := *seed
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "fault-seed" {
+				fseed = *faultSeed
+			}
+		})
 		inj, err := faults.Parse(*faultSpec, fseed)
 		if err != nil {
 			fatal(err)

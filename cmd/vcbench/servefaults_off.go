@@ -1,0 +1,16 @@
+//go:build !servefaults
+
+package main
+
+import (
+	"flag"
+
+	"vcomputebench/internal/core"
+)
+
+// Without the servefaults build tag the serve path has no fault-injection
+// flags at all: a production binary cannot be misconfigured into injecting
+// faults. See servefaults_on.go for the tagged build.
+func registerServeFaultFlags(*flag.FlagSet) func() (core.FaultPlanner, error) {
+	return func() (core.FaultPlanner, error) { return nil, nil }
+}

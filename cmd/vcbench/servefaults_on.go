@@ -1,0 +1,27 @@
+//go:build servefaults
+
+package main
+
+import (
+	"flag"
+
+	"vcomputebench/internal/core"
+	"vcomputebench/internal/faults"
+)
+
+// Built with -tags servefaults, `vcbench serve` exposes deterministic fault
+// injection on the serve path: -serve-faults takes the same spec grammar as
+// batch mode's -faults, and -serve-fault-seed seeds the schedule. The knob is
+// build-tagged so a production binary physically cannot be started with
+// injection enabled — chaos CI builds the tagged binary to drive the 429 and
+// failure-taxonomy smoke tests.
+func registerServeFaultFlags(fs *flag.FlagSet) func() (core.FaultPlanner, error) {
+	spec := fs.String("serve-faults", "", "deterministic fault-injection spec for executed cells, same grammar as -faults (servefaults build only)")
+	seed := fs.Int64("serve-fault-seed", 1, "seed for the serve fault schedule (servefaults build only)")
+	return func() (core.FaultPlanner, error) {
+		if *spec == "" {
+			return nil, nil
+		}
+		return faults.Parse(*spec, *seed)
+	}
+}

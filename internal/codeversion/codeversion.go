@@ -9,9 +9,11 @@
 // Deliberately NOT covered: internal/platforms (DriverProfile knob values are
 // timing-only — snapshot replay revalues them, and structural platform fields
 // are already part of hw.Profile.ExecutionFingerprint, which the store key
-// includes), and the reporting/stats layers (both fresh runs and replays go
-// through the current code, so a change there can never make a stored
-// snapshot stale).
+// includes), internal/serve (an HTTP frontend over the replay seam: it can
+// only select cells and override timing-only knobs, never change what a cell
+// executes, so registering it would cold the store on every serving change),
+// and the reporting/stats layers (both fresh runs and replays go through the
+// current code, so a change there can never make a stored snapshot stale).
 //
 // The fingerprint is a pure function of the embedded sources, so two builds
 // of identical code agree on it — which is what lets CI persist the store as

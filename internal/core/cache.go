@@ -175,6 +175,34 @@ func (c *SnapshotCache) tierStats(name string) TierStats {
 	return TierStats{Tier: name, Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
 }
 
+// Peeker is the optional side-effect-free probe of a SnapshotStore: Peek
+// reports whether a Get for the key would (very likely) hit, without touching
+// hit/miss statistics or LRU recency. The serve admission layer uses it to
+// classify a request as replay or execution before deciding whether it can be
+// shed — a Peek must therefore never count as traffic, or warm-store load
+// tests could not assert zero executions. The answer is advisory: a
+// concurrent eviction between Peek and Get turns a predicted hit into an
+// executed miss, which is safe (just unshed work), never wrong.
+type Peeker interface {
+	Peek(k SnapshotKey) bool
+}
+
+// Peek reports whether the key is resident, without updating recency or
+// counting a hit/miss.
+func (c *SnapshotCache) Peek(k SnapshotKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[k]
+	return ok
+}
+
+// CellKey returns the snapshot-store key Run would use for this cell under
+// the runner's current settings. Exported for store-aware frontends (the
+// serve admission layer) that need to probe the store before running.
+func (r *Runner) CellKey(p *platforms.Platform, b Benchmark, api hw.API, w Workload) SnapshotKey {
+	return r.snapshotKey(p, b, api, w)
+}
+
 // snapshotKey builds the store key of one cell under this runner's settings.
 func (r *Runner) snapshotKey(p *platforms.Platform, b Benchmark, api hw.API, w Workload) SnapshotKey {
 	reps := r.Repetitions

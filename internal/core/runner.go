@@ -106,14 +106,29 @@ func NewRunner() *Runner { return &Runner{Repetitions: DefaultRepetitions, Seed:
 // Run executes the benchmark with the given API and workload on a fresh device
 // instance of the platform, repeating and averaging.
 func (r *Runner) Run(p *platforms.Platform, b Benchmark, api hw.API, w Workload) (*Result, error) {
-	return r.run(p, b, api, w, r.DispatchParallelism)
+	return r.run(r.baseContext(), p, b, api, w, r.DispatchParallelism)
 }
 
-// run is Run with an explicit per-dispatch core budget (0 = whole machine);
-// RunSuite passes the budget it computed for its pool size. With a snapshot
-// cache attached, a cell already executed under an execution-compatible
-// platform is replayed analytically instead of re-executed.
-func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload, dispatchParallel int) (*Result, error) {
+// RunCell is the request-scoped single-cell entry point: Run under an
+// explicit context that bounds this cell only, instead of the runner-wide
+// r.Context. The serve path hands every request its own context here, so one
+// shared Runner can carry many concurrent requests with independent
+// deadlines. All runner policy applies unchanged: snapshot replay through
+// r.Cache, per-attempt CellTimeout, the transient retry budget, and fault
+// planning. A nil ctx falls back to the runner's own base context.
+func (r *Runner) RunCell(ctx context.Context, p *platforms.Platform, b Benchmark, api hw.API, w Workload) (*Result, error) {
+	if ctx == nil {
+		ctx = r.baseContext()
+	}
+	return r.run(ctx, p, b, api, w, r.DispatchParallelism)
+}
+
+// run is Run with an explicit cell context and per-dispatch core budget (0 =
+// whole machine); RunSuite passes the budget it computed for its pool size.
+// With a snapshot cache attached, a cell already executed under an
+// execution-compatible platform is replayed analytically instead of
+// re-executed.
+func (r *Runner) run(ctx context.Context, p *platforms.Platform, b Benchmark, api hw.API, w Workload, dispatchParallel int) (*Result, error) {
 	if p == nil || b == nil {
 		return nil, fmt.Errorf("core: Run with nil platform or benchmark")
 	}
@@ -139,7 +154,6 @@ func (r *Runner) run(p *platforms.Platform, b Benchmark, api hw.API, w Workload,
 			Reason: fmt.Sprintf("benchmark has no %s implementation", api),
 		}
 	}
-	ctx := r.baseContext()
 	record := r.Cache != nil
 	var key SnapshotKey
 	if record {

@@ -150,7 +150,7 @@ func (r *Runner) safeRun(p *platforms.Platform, t suiteTask, dispatchParallel in
 			}
 		}
 	}()
-	return r.run(p, t.bench, t.api, t.workload, dispatchParallel)
+	return r.run(r.baseContext(), p, t.bench, t.api, t.workload, dispatchParallel)
 }
 
 // abortOn decides whether a cell error stops the scheduler from launching

@@ -266,6 +266,20 @@ func (s *DiskStore) Put(k SnapshotKey, snap *Snapshot) {
 	}
 }
 
+// Peek reports whether a committed entry file exists for the key, without
+// opening it or counting a hit/miss. A file that exists but would fail to
+// decode still peeks true; the subsequent Get degrades it to a miss as usual.
+func (s *DiskStore) Peek(k SnapshotKey) bool {
+	info, err := os.Stat(s.entryPath(k))
+	return err == nil && !info.IsDir()
+}
+
+// DecodeFailureCount returns the running count of entries that existed but
+// could not be decoded (each degraded to a miss). Cheap — a single atomic
+// load, unlike Stats(), which scans the directory — so health monitors (the
+// serve circuit breaker) can probe it per request.
+func (s *DiskStore) DecodeFailureCount() uint64 { return s.decodeFailures.Load() }
+
 // scan walks the store directory, invoking fn for every committed entry file.
 func (s *DiskStore) scan(fn func(path string, size int64)) error {
 	entries, err := os.ReadDir(s.dir)
@@ -387,6 +401,11 @@ func (t *TieredStore) Get(k SnapshotKey) (*Snapshot, bool) {
 func (t *TieredStore) Put(k SnapshotKey, s *Snapshot) {
 	t.mem.Put(k, s)
 	t.disk.Put(k, s)
+}
+
+// Peek reports whether either tier holds the key, without counting traffic.
+func (t *TieredStore) Peek(k SnapshotKey) bool {
+	return t.mem.Peek(k) || t.disk.Peek(k)
 }
 
 // Stats reports combined traffic with a per-tier breakdown. The top-level

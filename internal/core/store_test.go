@@ -370,3 +370,87 @@ func TestTieredStoreConcurrency(t *testing.T) {
 		t.Fatalf("concurrent traffic dropped puts or failed decodes: %+v", st)
 	}
 }
+
+// TestDiskStoreCrashedWriterRecovery simulates a writer SIGKILLed mid-Put.
+// The atomic temp-and-rename protocol means a crash can only ever leave an
+// orphaned temp file, never a partial committed entry: a fresh process must
+// serve the committed entries correctly, Peek must not mistake the orphan (or
+// a directory squatting on an entry path) for an entry, and GC must reclaim
+// the orphan without touching live entries.
+func TestDiskStoreCrashedWriterRecovery(t *testing.T) {
+	reg := storeTestRegistry(t)
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, "codev1", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := storeTestSnapshot(t, reg)
+	k := storeTestKey("storetest")
+	s.Put(k, snap)
+
+	// The crash: a writer died between CreateTemp and Rename, leaving its
+	// temp file behind (the exact artifact of a SIGKILL mid-Put).
+	orphan := filepath.Join(dir, "deadbeef"+snapExt+".12345"+tmpExt)
+	if err := os.WriteFile(orphan, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process over the same directory serves the committed entry.
+	s2, err := OpenDiskStore(dir, "codev1", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(k)
+	if !ok {
+		t.Fatal("committed entry lost after simulated crash")
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("recovered snapshot differs:\n  want %+v\n  got  %+v", snap, got)
+	}
+	if !s2.Peek(k) {
+		t.Fatal("Peek misses a committed entry")
+	}
+
+	// GC (-store-gc) reclaims exactly the orphan.
+	removed, reclaimed, err := s2.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || reclaimed != int64(len("partial write")) {
+		t.Fatalf("GC removed %d files / %d bytes, want the 1 orphan / %d bytes",
+			removed, reclaimed, len("partial write"))
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned temp file survived GC")
+	}
+	if _, ok := s2.Get(k); !ok {
+		t.Fatal("GC removed a live entry")
+	}
+
+	// Injected rename failure: a directory squatting on the entry path makes
+	// os.Rename fail. The Put must degrade to a counted drop, clean up its
+	// temp file, and leave Get/Peek reporting a plain miss.
+	k2 := storeTestKey("renamefail")
+	if err := os.MkdirAll(s2.entryPath(k2), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s2.Put(k2, snap)
+	if st := s2.Stats(); st.Tiers[0].DroppedPuts != 1 {
+		t.Fatalf("dropped puts = %d, want 1 after injected rename failure", st.Tiers[0].DroppedPuts)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpExt) {
+			t.Fatalf("failed Put leaked temp file %s", e.Name())
+		}
+	}
+	if _, ok := s2.Get(k2); ok {
+		t.Fatal("Get served an entry whose path is a directory")
+	}
+	if s2.Peek(k2) {
+		t.Fatal("Peek mistook a directory for an entry")
+	}
+}

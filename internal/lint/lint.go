@@ -98,8 +98,11 @@ func DefaultConfig() Config {
 		},
 		// suite is pure registration wiring over the core registry: it cannot
 		// change what a cell executes, so it stays out of the fingerprint.
-		EmbedExempt:     []string{"internal/rodinia/suite"},
-		EmbedForbidden:  []string{"internal/platforms"},
+		EmbedExempt: []string{"internal/rodinia/suite"},
+		// platforms holds timing-only knob values that replay revalues; serve
+		// is a frontend over the replay seam and cannot change what a cell
+		// executes. Registering either would cold the store needlessly.
+		EmbedForbidden:  []string{"internal/platforms", "internal/serve"},
 		CodeVersionPath: "internal/codeversion",
 		SetsVar:         "sets",
 
@@ -107,6 +110,10 @@ func DefaultConfig() Config {
 			"internal/core",
 			"internal/experiments",
 			"internal/report",
+			// serve promises byte-identical response bodies for identical
+			// requests; its latency metrics legitimately read the wall clock
+			// through one annotated accessor (serve/metrics.go).
+			"internal/serve",
 			"internal/stats",
 		},
 		SeededPackages: []string{

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"vcomputebench/internal/core"
+)
+
+// serveStore is the serve-side tiered snapshot store: the in-memory LRU over
+// the circuit-broken disk tier. It mirrors core.TieredStore's composition and
+// Stats contract — top-level Misses/Executions count lookups both tiers
+// missed, exactly the cells that paid for execution — but routes the disk
+// tier through the breaker, which core's store (deliberately free of serving
+// policy) knows nothing about.
+type serveStore struct {
+	mem  *core.SnapshotCache
+	disk *breaker
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newServeStore(mem *core.SnapshotCache, disk *breaker) *serveStore {
+	return &serveStore{mem: mem, disk: disk}
+}
+
+// Get tries memory, then the (circuit-broken) disk, promoting disk hits.
+func (t *serveStore) Get(k core.SnapshotKey) (*core.Snapshot, bool) {
+	if snap, ok := t.mem.Get(k); ok {
+		t.hits.Add(1)
+		return snap, true
+	}
+	snap, ok := t.disk.get(k)
+	if !ok {
+		t.misses.Add(1)
+		return nil, false
+	}
+	t.mem.Put(k, snap)
+	t.hits.Add(1)
+	return snap, true
+}
+
+// Put writes through to both tiers (the breaker drops disk writes while
+// open).
+func (t *serveStore) Put(k core.SnapshotKey, s *core.Snapshot) {
+	t.mem.Put(k, s)
+	t.disk.put(k, s)
+}
+
+// Peek reports whether a Get would hit, without counting traffic. Advisory:
+// the admission layer uses it to exempt replays from shedding.
+func (t *serveStore) Peek(k core.SnapshotKey) bool {
+	return t.mem.Peek(k) || t.disk.peek(k)
+}
+
+// Stats reports combined traffic with the per-tier breakdown, under the
+// store-miss-means-execution contract.
+func (t *serveStore) Stats() core.CacheStats {
+	mem := t.mem.Stats()
+	disk := t.disk.disk.Stats()
+	memTier := core.TierStats{
+		Tier: "memory", Hits: mem.Hits, Misses: mem.Misses,
+		Evictions: mem.Evictions, Entries: mem.Entries,
+	}
+	var diskTier core.TierStats
+	if len(disk.Tiers) > 0 {
+		diskTier = disk.Tiers[0]
+	}
+	return core.CacheStats{
+		Hits:       t.hits.Load(),
+		Misses:     t.misses.Load(),
+		Evictions:  mem.Evictions,
+		Entries:    mem.Entries,
+		Executions: t.misses.Load(),
+		Tiers:      []core.TierStats{memTier, diskTier},
+	}
+}
